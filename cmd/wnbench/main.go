@@ -1,0 +1,230 @@
+// Command wnbench regenerates the tables and figures of the paper's
+// evaluation. With no flags it runs the whole suite at the fast default
+// protocol; -exp selects one experiment and -full switches to the paper's
+// 3x9-trace protocol at paper-scale inputs.
+//
+// Usage:
+//
+//	wnbench [-exp all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation|env|areapower]
+//	        [-full] [-traces N] [-invocations N] [-out DIR] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whatsnext/internal/core"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/experiments"
+	"whatsnext/internal/synthmodel"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment to run")
+		full        = flag.Bool("full", false, "paper protocol: 9 traces x 3 invocations, paper-scale inputs")
+		traces      = flag.Int("traces", 0, "override number of harvest traces")
+		invocations = flag.Int("invocations", 0, "override invocations per trace")
+		outDir      = flag.String("out", "out", "directory for generated images and CSVs")
+		samples     = flag.Int("samples", 120, "points per runtime-quality curve")
+	)
+	flag.Parse()
+
+	proto := experiments.DefaultProtocol()
+	if *full {
+		proto = experiments.FullProtocol()
+	}
+	if *traces > 0 {
+		proto.Traces = *traces
+	}
+	if *invocations > 0 {
+		proto.Invocations = *invocations
+	}
+
+	if err := run(*exp, proto, *outDir, *samples); err != nil {
+		fmt.Fprintln(os.Stderr, "wnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, proto experiments.Protocol, outDir string, samples int) error {
+	w := os.Stdout
+	all := exp == "all"
+	did := false
+
+	if all || exp == "table1" {
+		did = true
+		rows, err := experiments.Table1(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig2" {
+		did = true
+		r, err := experiments.Figure2(proto, outDir)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure2(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig3" {
+		did = true
+		r, err := experiments.Figure3(7)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure3(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig9" {
+		did = true
+		curves, err := experiments.Figure9(proto, samples)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure9(w, curves)
+		if outDir != "" {
+			paths, err := experiments.WriteFigure9CSV(outDir, curves)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %d fig9 CSV series to %s\n\n", len(paths), outDir)
+		}
+	}
+	if all || exp == "fig10" {
+		did = true
+		rows, err := experiments.SpeedupStudy(core.ProcClank, proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSpeedup(w, "Figure 10: speedup and quality on the checkpointing volatile processor", rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig11" {
+		did = true
+		rows, err := experiments.SpeedupStudy(core.ProcNVP, proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSpeedup(w, "Figure 11: speedup and quality on the non-volatile processor", rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig12" {
+		did = true
+		rows, err := experiments.Figure12(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure12(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig13" {
+		did = true
+		rows, err := experiments.Figure13(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure13(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig14" {
+		did = true
+		prov, unprov, err := experiments.Figure14(proto, samples)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure14(w, prov, unprov)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig15" {
+		did = true
+		rows, err := experiments.Figure15(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure15(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig16" {
+		did = true
+		r, err := experiments.Figure16(proto, outDir)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure16(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig17" {
+		did = true
+		pts, avg, err := experiments.Figure17(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure17(w, pts, avg)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig1" {
+		did = true
+		rows, err := experiments.StreamStudy(proto, 16)
+		if err != nil {
+			return err
+		}
+		experiments.PrintStream(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "ablation" {
+		did = true
+		rows, err := experiments.SkimAblation(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSkimAblation(w, rows)
+		fmt.Fprintln(w)
+		wd, err := experiments.WatchdogSweep(proto, []uint64{1024, 2048, 4096, 8192, 65536})
+		if err != nil {
+			return err
+		}
+		experiments.PrintWatchdogSweep(w, wd)
+		fmt.Fprintln(w)
+		caps, err := experiments.CapacitorSweep(proto, []float64{2, 4.7, 10, 22, 47})
+		if err != nil {
+			return err
+		}
+		experiments.PrintCapacitorSweep(w, caps)
+		fmt.Fprintln(w)
+		memo, err := experiments.MemoEntriesSweep(proto, []int{4, 16, 64, 256})
+		if err != nil {
+			return err
+		}
+		experiments.PrintMemoEntriesSweep(w, memo)
+		fmt.Fprintln(w)
+		cons, err := experiments.ConsistencySweep(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintConsistencySweep(w, cons)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "env" {
+		did = true
+		rows, err := experiments.EnvironmentStudy(proto)
+		if err != nil {
+			return err
+		}
+		experiments.PrintEnvironments(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "areapower" {
+		did = true
+		fmt.Fprintln(w, synthmodel.Evaluate(energy.DefaultDeviceConfig().ClockHz))
+		fmt.Fprintln(w)
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command wnsim runs one Table I benchmark variant on a simulated
+// energy-harvesting device and reports completion time, energy, outages and
+// output quality.
+//
+// Usage:
+//
+//	wnsim -bench Conv2d -mode swp -bits 4 -proc clank [-trace-seed 3]
+//	      [-memo] [-paper-scale] [-seed 1] [-dump-asm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/core"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/quality"
+	"whatsnext/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "Conv2d", "benchmark: Conv2d, MatMul, MatAdd, Home, Var, NetMotion")
+		mode       = flag.String("mode", "precise", "precise, swp, swv, or wn (benchmark's own technique)")
+		bits       = flag.Int("bits", 8, "subword size (1,2,3,4,8)")
+		proc       = flag.String("proc", "clank", "processor runtime: clank or nvp")
+		traceSeed  = flag.Int64("trace-seed", 1, "synthetic Wi-Fi trace seed")
+		continuous = flag.Bool("continuous", false, "continuous power instead of a harvest trace")
+		memo       = flag.Bool("memo", false, "enable the 16-entry memo table + zero skipping")
+		paperScale = flag.Bool("paper-scale", false, "paper-size inputs instead of study-scaled")
+		seed       = flag.Int64("seed", 1, "input seed")
+		dumpAsm    = flag.Bool("dump-asm", false, "print the generated assembly and exit")
+		dumpIR     = flag.Bool("dump-ir", false, "print the kernel IR (with pragmas) and exit")
+		traceFile  = flag.String("trace-file", "", "CSV harvest trace (as written by wntrace gen)")
+		vloads     = flag.Bool("vector-loads", false, "SWP with subword-major vectorized loads (Fig. 12)")
+	)
+	flag.Parse()
+	if err := run(*benchName, *mode, *bits, *proc, *traceSeed, *continuous, *memo, *paperScale, *seed, *dumpAsm, *dumpIR, *traceFile, *vloads); err != nil {
+		fmt.Fprintln(os.Stderr, "wnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, mode string, bits int, proc string, traceSeed int64, continuous, memo, paperScale bool, seed int64, dumpAsm, dumpIR bool, traceFile string, vloads bool) error {
+	b, err := workloads.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	p := b.ScaledParams()
+	if paperScale {
+		p = b.DefaultParams()
+	}
+
+	var m compiler.Mode
+	switch mode {
+	case "precise":
+		m = compiler.ModePrecise
+	case "swp":
+		m = compiler.ModeSWP
+	case "swv":
+		m = compiler.ModeSWV
+	case "wn":
+		m = b.Mode
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	k := b.Build(p, bits, true)
+	if dumpIR {
+		fmt.Print(compiler.Dump(k))
+		return nil
+	}
+	c, err := compiler.Compile(k, compiler.Options{Mode: m, VectorLoads: vloads})
+	if err != nil {
+		return err
+	}
+	if dumpAsm {
+		fmt.Print(c.Asm)
+		return nil
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Memoization = memo
+	if proc == "nvp" {
+		cfg.Processor = core.ProcNVP
+	} else if proc != "clank" {
+		return fmt.Errorf("unknown processor %q", proc)
+	}
+
+	trace := energy.SyntheticWiFiTrace(traceSeed, energy.DefaultTraceConfig())
+	if continuous {
+		trace = core.ContinuousTrace()
+	}
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		trace, err = energy.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	sys := core.NewSystem(cfg, trace)
+	if err := sys.Load(c); err != nil {
+		return err
+	}
+
+	in := b.Inputs(p, seed)
+	res, err := sys.RunInput(in)
+	if err != nil {
+		return err
+	}
+	out, err := sys.Output(b.Output)
+	if err != nil {
+		return err
+	}
+	golden := b.Golden(p, in)
+	clk := cfg.Device.ClockHz
+
+	fmt.Printf("benchmark:      %s (%s, %d-bit) on %s\n", b.Name, m, bits, cfg.Processor)
+	fmt.Printf("completed:      halted=%v via-skim=%v\n", res.Halted, res.SkimTaken)
+	fmt.Printf("active cycles:  %d (%.3f ms)\n", res.CyclesOn, 1e3*float64(res.CyclesOn)/clk)
+	fmt.Printf("off cycles:     %d (%.3f ms)\n", res.CyclesOff, 1e3*float64(res.CyclesOff)/clk)
+	fmt.Printf("wall clock:     %.3f ms\n", 1e3*float64(res.TotalCycles())/clk)
+	fmt.Printf("instructions:   %d\n", res.Instructions)
+	fmt.Printf("outages:        %d   checkpoints: %d\n", res.Outages, res.Checkpoints)
+	fmt.Printf("energy drawn:   %.2f uJ\n", 1e6*res.EnergyDrawn)
+	fmt.Printf("output NRMSE:   %.4f%%\n", quality.NRMSE(out, golden))
+	return nil
+}

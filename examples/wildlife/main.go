@@ -1,0 +1,79 @@
+// Wildlife: a solar-harvesting tracking collar (the paper's NetMotion
+// scenario) streaming movement summaries. Position deltas arrive
+// continuously; each summary window must be reported before the next one
+// lands. The conventional build falls behind and drops windows; the WN
+// build commits an approximate summary at each outage and keeps up.
+//
+//	go run ./examples/wildlife
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/core"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/quality"
+	"whatsnext/internal/workloads"
+)
+
+func main() {
+	b := workloads.NetMotion()
+	p := workloads.Params{Steps: 4096}
+
+	precise, err := compiler.Compile(b.Build(p, 8, true), compiler.Options{Mode: compiler.ModePrecise})
+	if err != nil {
+		log.Fatal(err)
+	}
+	anytime, err := compiler.Compile(b.Build(p, 8, true), compiler.Options{Mode: compiler.ModeSWV})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const windows = 12
+	clk := energy.DefaultDeviceConfig().ClockHz
+
+	run := func(name string, c *compiler.Compiled) {
+		sys := core.NewSystem(core.DefaultConfig(), energy.SyntheticWiFiTrace(11, energy.DefaultTraceConfig()))
+		if err := sys.Load(c); err != nil {
+			log.Fatal(err)
+		}
+		// A new summary window of deltas lands every 250 ms of wall clock.
+		deadline := uint64(0.25 * clk)
+
+		var done, dropped int
+		var errs []float64
+		start := sys.Supply.TotalCycles()
+		for w := 0; w < windows; w++ {
+			in := b.Inputs(p, int64(100+w))
+			golden := b.Golden(p, in)
+			res, err := sys.RunInput(in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := sys.Output(b.Output)
+			if err != nil {
+				log.Fatal(err)
+			}
+			done++
+			errs = append(errs, quality.NRMSE(out, golden))
+			// Windows that arrived while we were still busy are lost.
+			busy := res.TotalCycles()
+			for busy > deadline {
+				busy -= deadline
+				dropped++
+				w++
+			}
+		}
+		elapsed := float64(sys.Supply.TotalCycles()-start) / clk
+		fmt.Printf("%-22s summaries reported: %2d   dropped: %2d   median NRMSE: %.3f%%   (%.1f s simulated)\n",
+			name, done, dropped, quality.Median(errs), elapsed)
+	}
+
+	fmt.Printf("wildlife tracker: %d-step windows, harvested Wi-Fi power, Clank checkpointing\n", p.Steps)
+	run("conventional precise:", precise)
+	run("What's Next (8-bit):", anytime)
+	fmt.Println("\nWN commits each window's net-movement estimate at the first outage past a skim point,")
+	fmt.Println("so it reports more summaries before their replacement windows arrive.")
+}

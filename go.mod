@@ -1,0 +1,3 @@
+module whatsnext
+
+go 1.22

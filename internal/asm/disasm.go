@@ -1,0 +1,27 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+)
+
+// Disassemble renders a program image back into assembler text, one
+// instruction per line with its address. Words that do not decode are shown
+// as .word directives.
+func Disassemble(image []byte) string {
+	var b strings.Builder
+	for off := 0; off+isa.InstBytes <= len(image); off += isa.InstBytes {
+		addr := mem.CodeBase + uint32(off)
+		w := uint32(image[off]) | uint32(image[off+1])<<8 | uint32(image[off+2])<<16 | uint32(image[off+3])<<24
+		in, err := isa.Decode(isa.Word(w))
+		if err != nil {
+			fmt.Fprintf(&b, "%08x:  .word %#08x\n", addr, w)
+			continue
+		}
+		fmt.Fprintf(&b, "%08x:  %s\n", addr, in)
+	}
+	return b.String()
+}

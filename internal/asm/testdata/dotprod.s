@@ -1,0 +1,49 @@
+; Hand-written anytime dot product (the paper's Listing 2 shape):
+; X = sum(F[i] * A[i]) over 8 elements of 16-bit data at the data base,
+; computed most-significant-byte first with MUL_ASP8 and a skim point
+; between the passes.
+;
+; Memory layout (installed by the test):
+;   0x10000000  F[8]   16-bit coefficients
+;   0x10000010  A[8]   16-bit approximable input
+;   0x10000020  X      32-bit accumulator (output)
+
+	MOVI R0, #0
+	MOVTI R0, #4096     ; R0 = 0x10000000 = &F[0]
+	MOVI R1, #16
+	ADD R1, R0, R1      ; R1 = &A[0]
+	MOVI R2, #32
+	ADD R2, R0, R2      ; R2 = &X
+
+	; ---- most significant pass ----
+	MOVI R4, #8         ; counter
+	MOVI R5, #0         ; acc
+loop_msb:
+	LDRH R6, [R0, #0]   ; F[i]
+	LDRB R7, [R1, #1]   ; A[i][MSb]
+	MUL_ASP8 R6, R7, #1
+	ADD R5, R5, R6
+	ADDI R0, R0, #2
+	ADDI R1, R1, #2
+	SUBIS R4, R4, #1
+	BNE loop_msb
+	STR R5, [R2, #0]    ; commit the approximate result
+	SKM end             ; an acceptable output now exists
+
+	; ---- least significant pass ----
+	MOVI R4, #8
+	SUBI R0, R0, #16    ; rewind pointers
+	SUBI R1, R1, #16
+loop_lsb:
+	LDRH R6, [R0, #0]
+	LDRB R7, [R1, #0]   ; A[i][LSb]
+	MUL_ASP8 R6, R7, #0
+	ADD R5, R5, R6
+	ADDI R0, R0, #2
+	ADDI R1, R1, #2
+	SUBIS R4, R4, #1
+	BNE loop_lsb
+	STR R5, [R2, #0]    ; now exact
+
+end:
+	HALT

@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// bitwiseKernel builds MASK[i] = A[i] op B[i] over ASV-annotated arrays —
+// the Section III-B claim that logical operations vectorize with their
+// ordinary full-precision instructions.
+func bitwiseKernel(op BinOp, bits int, provisioned bool) *Kernel {
+	const n = 32
+	mk := func(name string) Array {
+		return Array{Name: name, ElemBits: 32, Len: n,
+			Pragma: PragmaASV, SubwordBits: bits, Provisioned: provisioned}
+	}
+	return &Kernel{
+		Name:   "bitwise",
+		Arrays: []Array{mk("A"), mk("B"), mk("MASK")},
+		Body: []Stmt{Loop{Var: "i", N: n, Body: []Stmt{
+			Assign{Array: "MASK", Index: LinVar("i", 1, 0),
+				Value: Bin{Op: op,
+					A: Load{Array: "A", Index: LinVar("i", 1, 0)},
+					B: Load{Array: "B", Index: LinVar("i", 1, 0)}}},
+		}}},
+	}
+}
+
+func bitwiseInputs(rng *rand.Rand, n int) map[string][]int64 {
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63() & 0xFFFFFFFF
+		b[i] = rng.Int63() & 0xFFFFFFFF
+	}
+	return map[string][]int64{"A": a, "B": b}
+}
+
+func TestBitwisePreciseAgainstInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range []BinOp{OpBitAnd, OpBitOr, OpBitXor} {
+		k := bitwiseKernel(op, 8, false)
+		in := bitwiseInputs(rng, 32)
+		want, err := Interpret(k, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(k, Options{Mode: ModePrecise})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := runOnSim(t, c, in)
+		compareAllArrays(t, "bitwise precise", c, m, want)
+	}
+}
+
+func TestBitwiseSWVExactAndLaneFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, op := range []BinOp{OpBitAnd, OpBitOr, OpBitXor} {
+		for _, bits := range []int{4, 8} {
+			// Bitwise lanes are exact with or without provisioning: there
+			// is no carry to lose.
+			for _, prov := range []bool{false, true} {
+				k := bitwiseKernel(op, bits, prov)
+				in := bitwiseInputs(rng, 32)
+				want, err := Interpret(k, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := Compile(k, Options{Mode: ModeSWV})
+				if err != nil {
+					t.Fatalf("op %d bits %d prov %v: %v", op, bits, prov, err)
+				}
+				m := runOnSim(t, c, in)
+				compareAllArrays(t, "bitwise swv", c, m, want)
+				// No new hardware: the SWV build must not contain ASV
+				// arithmetic instructions for logical ops.
+				if strings.Contains(c.Asm, "_ASV") {
+					t.Errorf("bitwise SWV should use plain logical instructions:\n%s", c.Asm)
+				}
+				if !strings.Contains(c.Asm, "SKM") {
+					t.Error("bitwise SWV should still place skim points")
+				}
+			}
+		}
+	}
+}
+
+func TestBitwiseInterpreter(t *testing.T) {
+	k := &Kernel{
+		Name:   "b",
+		Arrays: []Array{{Name: "X", ElemBits: 32, Len: 1}},
+		Body: []Stmt{
+			Assign{Array: "X", Index: LinConst(0),
+				Value: Bin{Op: OpBitXor,
+					A: Bin{Op: OpBitAnd, A: Const{V: 0xF0F0}, B: Const{V: 0xFF00}},
+					B: Bin{Op: OpBitOr, A: Const{V: 0x000F}, B: Const{V: 0x00F0}}}},
+		},
+	}
+	out, err := Interpret(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((0xF0F0 & 0xFF00) ^ (0x000F | 0x00F0))
+	if out["X"][0] != want {
+		t.Fatalf("X = %#x, want %#x", out["X"][0], want)
+	}
+}

@@ -1,0 +1,758 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"whatsnext/internal/isa"
+)
+
+// codegen lowers IR statements to assembly text. Array accesses use
+// strength-reduced pointer registers: one register per unique (array, index
+// expression) pair per segment, incremented at loop boundaries instead of
+// recomputing addresses with multiplies.
+type codegen struct {
+	e      *emitter
+	k      *Kernel
+	layout *Layout
+	ra     *regalloc
+	mode   Mode
+
+	ptrs     map[string]*ptrEntry
+	ptrOrder []string
+	endLabel string
+}
+
+type ptrEntry struct {
+	reg       isa.Reg
+	lin       Lin
+	stepBytes int64  // bytes per index unit
+	base      uint32 // address at all-zero loop variables
+}
+
+func rowKey(array string, lin Lin) string { return "a|" + array + "|" + lin.key() }
+func packKey(array string, plane int, lin Lin) string {
+	return fmt.Sprintf("p|%s|%d|%s", array, plane, lin.key())
+}
+
+// newCodegen builds a generator for one kernel.
+func newCodegen(e *emitter, k *Kernel, layout *Layout, mode Mode) *codegen {
+	return &codegen{e: e, k: k, layout: layout, ra: &regalloc{}, mode: mode}
+}
+
+// loadConst emits code materializing a 32-bit constant.
+func (cg *codegen) loadConst(r isa.Reg, v uint32) {
+	cg.e.emitf("MOVI %s, #%d", r, v&0xFFFF)
+	if v>>16 != 0 {
+		cg.e.emitf("MOVTI %s, #%d", r, v>>16)
+	}
+}
+
+// addImm adds a signed delta to a register, routing through a temporary for
+// deltas outside the 16-bit immediate range.
+func (cg *codegen) addImm(r isa.Reg, delta int64) error {
+	if delta == 0 {
+		return nil
+	}
+	if delta >= -32768 && delta <= 32767 {
+		cg.e.emitf("ADDI %s, %s, #%d", r, r, delta)
+		return nil
+	}
+	t, err := cg.ra.alloc()
+	if err != nil {
+		return err
+	}
+	defer cg.ra.release(t)
+	if delta > 0 {
+		cg.loadConst(t, uint32(delta))
+		cg.e.emitf("ADD %s, %s, %s", r, r, t)
+	} else {
+		cg.loadConst(t, uint32(-delta))
+		cg.e.emitf("SUB %s, %s, %s", r, r, t)
+	}
+	return nil
+}
+
+// --- access collection ---
+
+type accessInfo struct {
+	lin       Lin
+	stepBytes int64
+	base      uint32
+}
+
+func (cg *codegen) collectStmts(stmts []Stmt, acc map[string]accessInfo) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Loop:
+			if err := cg.collectStmts(st.Body, acc); err != nil {
+				return err
+			}
+		case Assign:
+			if err := cg.noteRow(acc, st.Array, st.Index); err != nil {
+				return err
+			}
+			if err := cg.collectExpr(st.Value, acc); err != nil {
+				return err
+			}
+		case PackedAssign:
+			if err := cg.notePacked(acc, st.Array, st.Plane, st.Word); err != nil {
+				return err
+			}
+			if err := cg.collectExpr(st.Value, acc); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("compiler: codegen: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) collectExpr(e Expr, acc map[string]accessInfo) error {
+	switch ex := e.(type) {
+	case Const:
+		return nil
+	case Load:
+		return cg.noteRow(acc, ex.Array, ex.Index)
+	case Bin:
+		if err := cg.collectExpr(ex.A, acc); err != nil {
+			return err
+		}
+		return cg.collectExpr(ex.B, acc)
+	case Reduce:
+		return cg.collectExpr(ex.Body, acc)
+	case ASPMul:
+		if err := cg.noteRow(acc, ex.Array, ex.Index); err != nil {
+			return err
+		}
+		return cg.collectExpr(ex.Other, acc)
+	case ASPLoad:
+		return cg.noteRow(acc, ex.Array, ex.Index)
+	case ASVBin:
+		if err := cg.collectExpr(ex.A, acc); err != nil {
+			return err
+		}
+		return cg.collectExpr(ex.B, acc)
+	case PackedLoad:
+		return cg.notePacked(acc, ex.Array, ex.Plane, ex.Word)
+	case VecReduce:
+		return cg.notePacked(acc, ex.Array, ex.Plane, ex.WordStart)
+	case ASPDotPacked:
+		if err := cg.notePacked(acc, ex.Array, ex.Plane, ex.Word); err != nil {
+			return err
+		}
+		return cg.noteRow(acc, ex.OtherArray, ex.OtherIndex)
+	default:
+		return fmt.Errorf("compiler: codegen: unknown expression %T", e)
+	}
+}
+
+func (cg *codegen) noteRow(acc map[string]accessInfo, array string, lin Lin) error {
+	al, err := cg.layout.Of(array)
+	if err != nil {
+		return err
+	}
+	if al.Planar {
+		return fmt.Errorf("compiler: scalar access to planar array %q", array)
+	}
+	acc[rowKey(array, lin)] = accessInfo{lin: lin, stepBytes: int64(al.ElemBytes()), base: al.Base}
+	return nil
+}
+
+func (cg *codegen) notePacked(acc map[string]accessInfo, array string, plane int, lin Lin) error {
+	al, err := cg.layout.Of(array)
+	if err != nil {
+		return err
+	}
+	if !al.Planar {
+		return fmt.Errorf("compiler: packed access to row-major array %q", array)
+	}
+	if plane < 0 || plane >= al.NumPlanes {
+		return fmt.Errorf("compiler: plane %d out of range for %q", plane, array)
+	}
+	acc[packKey(array, plane, lin)] = accessInfo{lin: lin, stepBytes: 4, base: al.PlaneBase(plane)}
+	return nil
+}
+
+// openSegment allocates and initializes pointer registers for a statement
+// region (one subword pass, or the whole kernel when precise).
+func (cg *codegen) openSegment(stmts []Stmt) error {
+	acc := map[string]accessInfo{}
+	if err := cg.collectStmts(stmts, acc); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cg.ptrs = make(map[string]*ptrEntry, len(keys))
+	cg.ptrOrder = keys
+	for _, key := range keys {
+		info := acc[key]
+		r, err := cg.ra.alloc()
+		if err != nil {
+			return fmt.Errorf("%v (while allocating %d pointer registers)", err, len(keys))
+		}
+		cg.ptrs[key] = &ptrEntry{reg: r, lin: info.lin, stepBytes: info.stepBytes, base: info.base}
+		cg.loadConst(r, info.base+uint32(info.stepBytes*info.lin.Const))
+	}
+	return nil
+}
+
+func (cg *codegen) closeSegment() {
+	for _, key := range cg.ptrOrder {
+		cg.ra.release(cg.ptrs[key].reg)
+	}
+	cg.ptrs, cg.ptrOrder = nil, nil
+}
+
+func (cg *codegen) ptr(key string) (*ptrEntry, error) {
+	p, ok := cg.ptrs[key]
+	if !ok {
+		return nil, fmt.Errorf("compiler: internal: no pointer for %s", key)
+	}
+	return p, nil
+}
+
+// genLoop emits a counted do-while loop over v in [0,n), maintaining every
+// pointer whose index depends on v.
+func (cg *codegen) genLoop(v string, n int64, body func() error) error {
+	if n <= 0 {
+		return fmt.Errorf("compiler: loop %q trip count %d", v, n)
+	}
+	ctr, err := cg.ra.alloc()
+	if err != nil {
+		return err
+	}
+	cg.loadConst(ctr, uint32(n))
+	head := cg.e.fresh("L" + v)
+	cg.e.placeLabel(head)
+	if err := body(); err != nil {
+		return err
+	}
+	for _, key := range cg.ptrOrder {
+		p := cg.ptrs[key]
+		if c := p.lin.Coeff[v]; c != 0 {
+			if err := cg.addImm(p.reg, c*p.stepBytes); err != nil {
+				return err
+			}
+		}
+	}
+	// Down-counted loop with a flag-setting decrement, the M0+ SUBS idiom.
+	cg.e.emitf("SUBIS %s, %s, #1", ctr, ctr)
+	cg.e.emitf("BNE %s", head)
+	for _, key := range cg.ptrOrder {
+		p := cg.ptrs[key]
+		if c := p.lin.Coeff[v]; c != 0 {
+			if err := cg.addImm(p.reg, -n*c*p.stepBytes); err != nil {
+				return err
+			}
+		}
+	}
+	cg.ra.release(ctr)
+	return nil
+}
+
+func (cg *codegen) genStmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Loop:
+			if err := cg.genLoop(st.Var, st.N, func() error { return cg.genStmts(st.Body) }); err != nil {
+				return err
+			}
+		case Assign:
+			if err := cg.genAssign(st); err != nil {
+				return err
+			}
+		case PackedAssign:
+			if err := cg.genPackedAssign(st); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("compiler: codegen: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (cg *codegen) arrayPragma(name string) PragmaKind {
+	if a, ok := cg.k.ArrayByName(name); ok {
+		return a.Pragma
+	}
+	return PragmaNone
+}
+
+// loadsPragma reports whether e directly loads an array with the given
+// pragma (used for Table I amenable-instruction marking on precise builds).
+func (cg *codegen) loadsPragma(e Expr, kind PragmaKind) bool {
+	ld, ok := e.(Load)
+	return ok && cg.arrayPragma(ld.Array) == kind
+}
+
+func bitwiseOp(op BinOp) string {
+	switch op {
+	case OpBitAnd:
+		return "AND"
+	case OpBitOr:
+		return "ORR"
+	default:
+		return "EOR"
+	}
+}
+
+func storeOp(bits int) string {
+	switch bits {
+	case 8:
+		return "STRB"
+	case 16:
+		return "STRH"
+	default:
+		return "STR"
+	}
+}
+
+func loadOp(bits int) string {
+	switch bits {
+	case 8:
+		return "LDRB"
+	case 16:
+		return "LDRH"
+	default:
+		return "LDR"
+	}
+}
+
+func (cg *codegen) genAssign(a Assign) error {
+	v, err := cg.eval(a.Value)
+	if err != nil {
+		return err
+	}
+	p, err := cg.ptr(rowKey(a.Array, a.Index))
+	if err != nil {
+		return err
+	}
+	al := cg.layout.Arrays[a.Array]
+	if a.Accumulate {
+		t, err := cg.ra.alloc()
+		if err != nil {
+			return err
+		}
+		cg.e.emitf("%s %s, [%s, #0]", loadOp(al.Array.ElemBits), t, p.reg)
+		cg.e.emitf("ADD %s, %s, %s", v, v, t)
+		cg.ra.release(t)
+	}
+	if cg.mode == ModePrecise && cg.arrayPragma(a.Array) == PragmaASV {
+		cg.e.amenable()
+	}
+	cg.e.emitf("%s %s, [%s, #0]", storeOp(al.Array.ElemBits), v, p.reg)
+	cg.ra.release(v)
+	return nil
+}
+
+func (cg *codegen) genPackedAssign(a PackedAssign) error {
+	v, err := cg.eval(a.Value)
+	if err != nil {
+		return err
+	}
+	p, err := cg.ptr(packKey(a.Array, a.Plane, a.Word))
+	if err != nil {
+		return err
+	}
+	cg.e.amenable()
+	cg.e.emitf("STR %s, [%s, #0]", v, p.reg)
+	cg.ra.release(v)
+	return nil
+}
+
+// eval generates code computing e into a freshly allocated register.
+func (cg *codegen) eval(e Expr) (isa.Reg, error) {
+	switch ex := e.(type) {
+	case Const:
+		r, err := cg.ra.alloc()
+		if err != nil {
+			return 0, err
+		}
+		cg.loadConst(r, uint32(ex.V))
+		return r, nil
+
+	case Load:
+		r, err := cg.ra.alloc()
+		if err != nil {
+			return 0, err
+		}
+		p, err := cg.ptr(rowKey(ex.Array, ex.Index))
+		if err != nil {
+			return 0, err
+		}
+		al := cg.layout.Arrays[ex.Array]
+		if cg.mode == ModePrecise && cg.arrayPragma(ex.Array) == PragmaASV {
+			cg.e.amenable()
+		}
+		cg.e.emitf("%s %s, [%s, #0]", loadOp(al.Array.ElemBits), r, p.reg)
+		return r, nil
+
+	case Bin:
+		return cg.evalBin(ex)
+
+	case Reduce:
+		acc, err := cg.ra.alloc()
+		if err != nil {
+			return 0, err
+		}
+		cg.e.emitf("MOVI %s, #0", acc)
+		err = cg.genLoop(ex.Var, ex.N, func() error {
+			v, err := cg.eval(ex.Body)
+			if err != nil {
+				return err
+			}
+			if cg.mode == ModePrecise && cg.loadsPragma(ex.Body, PragmaASV) {
+				cg.e.amenable()
+			}
+			cg.e.emitf("ADD %s, %s, %s", acc, acc, v)
+			cg.ra.release(v)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return acc, nil
+
+	case ASPMul:
+		return cg.evalASPMul(ex)
+
+	case ASPLoad:
+		t, err := cg.ra.alloc()
+		if err != nil {
+			return 0, err
+		}
+		p, err := cg.ptr(rowKey(ex.Array, ex.Index))
+		if err != nil {
+			return 0, err
+		}
+		al := cg.layout.Arrays[ex.Array]
+		if err := cg.emitSubwordLoad(t, p.reg, al, ex.Start, ex.Width); err != nil {
+			return 0, err
+		}
+		if ex.Start > 0 {
+			cg.e.emitf("LSLI %s, %s, #%d", t, t, ex.Start)
+		}
+		return t, nil
+
+	case ASVBin:
+		a, err := cg.eval(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := cg.eval(ex.B)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case OpAdd:
+			cg.e.amenable()
+			cg.e.emitf("ADD_ASV%d %s, %s", ex.LaneBits, a, b)
+		case OpSub:
+			cg.e.amenable()
+			cg.e.emitf("SUB_ASV%d %s, %s", ex.LaneBits, a, b)
+		case OpBitAnd, OpBitOr, OpBitXor:
+			// Logical operations are lane-exact with the ordinary
+			// full-width instruction (Section III-B): no new hardware.
+			cg.e.amenable()
+			cg.e.emitf("%s %s, %s, %s", bitwiseOp(ex.Op), a, a, b)
+		default:
+			return 0, fmt.Errorf("compiler: ASV op must be add, sub or bitwise")
+		}
+		cg.ra.release(b)
+		return a, nil
+
+	case PackedLoad:
+		r, err := cg.ra.alloc()
+		if err != nil {
+			return 0, err
+		}
+		p, err := cg.ptr(packKey(ex.Array, ex.Plane, ex.Word))
+		if err != nil {
+			return 0, err
+		}
+		cg.e.amenable()
+		cg.e.emitf("LDR %s, [%s, #0]", r, p.reg)
+		return r, nil
+
+	case VecReduce:
+		return cg.evalVecReduce(ex)
+
+	case ASPDotPacked:
+		return cg.evalASPDot(ex)
+
+	default:
+		return 0, fmt.Errorf("compiler: codegen: unknown expression %T", e)
+	}
+}
+
+func (cg *codegen) evalBin(ex Bin) (isa.Reg, error) {
+	a, err := cg.eval(ex.A)
+	if err != nil {
+		return 0, err
+	}
+	switch ex.Op {
+	case OpShr, OpShl:
+		k, ok := ex.B.(Const)
+		if !ok {
+			return 0, fmt.Errorf("compiler: shift amount must be constant")
+		}
+		mn := "LSRI"
+		if ex.Op == OpShl {
+			mn = "LSLI"
+		}
+		if k.V != 0 {
+			cg.e.emitf("%s %s, %s, #%d", mn, a, a, k.V)
+		}
+		return a, nil
+	}
+	b, err := cg.eval(ex.B)
+	if err != nil {
+		return 0, err
+	}
+	switch ex.Op {
+	case OpAdd:
+		if cg.mode == ModePrecise && (cg.loadsPragma(ex.A, PragmaASV) || cg.loadsPragma(ex.B, PragmaASV)) {
+			cg.e.amenable()
+		}
+		cg.e.emitf("ADD %s, %s, %s", a, a, b)
+	case OpSub:
+		if cg.mode == ModePrecise && (cg.loadsPragma(ex.A, PragmaASV) || cg.loadsPragma(ex.B, PragmaASV)) {
+			cg.e.amenable()
+		}
+		cg.e.emitf("SUB %s, %s, %s", a, a, b)
+	case OpMul:
+		if cg.mode == ModePrecise && (cg.loadsPragma(ex.A, PragmaASP) || cg.loadsPragma(ex.B, PragmaASP)) {
+			cg.e.amenable()
+		}
+		cg.e.emitf("MUL %s, %s, %s", a, a, b)
+	case OpBitAnd, OpBitOr, OpBitXor:
+		if cg.mode == ModePrecise && (cg.loadsPragma(ex.A, PragmaASV) || cg.loadsPragma(ex.B, PragmaASV)) {
+			cg.e.amenable()
+		}
+		cg.e.emitf("%s %s, %s, %s", bitwiseOp(ex.Op), a, a, b)
+	default:
+		return 0, fmt.Errorf("compiler: unknown binary op %d", ex.Op)
+	}
+	cg.ra.release(b)
+	return a, nil
+}
+
+// evalASPMul lowers an anytime multiply: extract the subword of the
+// annotated operand, then MUL_ASP it against the full-precision operand.
+func (cg *codegen) evalASPMul(ex ASPMul) (isa.Reg, error) {
+	other, err := cg.eval(ex.Other)
+	if err != nil {
+		return 0, err
+	}
+	t, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	p, err := cg.ptr(rowKey(ex.Array, ex.Index))
+	if err != nil {
+		return 0, err
+	}
+	al := cg.layout.Arrays[ex.Array]
+	if err := cg.emitSubwordLoad(t, p.reg, al, ex.Start, ex.Width); err != nil {
+		return 0, err
+	}
+	cg.e.amenable()
+	if ex.Start%ex.Bits == 0 {
+		cg.e.emitf("MUL_ASP%d %s, %s, #%d", ex.Bits, other, t, ex.Start/ex.Bits)
+	} else {
+		// The MS-aligned span is not at a multiple of the subword size
+		// (value width not divisible by it); shift the product into place.
+		cg.e.emitf("MUL_ASP%d %s, %s, #0", ex.Bits, other, t)
+		cg.e.emitf("LSLI %s, %s, #%d", other, other, ex.Start)
+	}
+	cg.ra.release(t)
+	return other, nil
+}
+
+// emitSubwordLoad loads the subword at bit position start (width bits wide)
+// of the element at [ptr] into t. Byte-aligned 8-bit subwords use a direct
+// byte load (the paper's LDRB); nibble-aligned 4-bit subwords load the
+// containing byte and shift/mask; anything else loads the element and
+// extracts with shift+mask.
+func (cg *codegen) emitSubwordLoad(t, ptr isa.Reg, al ArrayLayout, start, width int) error {
+	switch {
+	case width == 8 && start%8 == 0:
+		cg.e.emitf("LDRB %s, [%s, #%d]", t, ptr, start/8)
+	case width == 4 && start%4 == 0:
+		cg.e.emitf("LDRB %s, [%s, #%d]", t, ptr, start/8)
+		if start%8 == 4 {
+			cg.e.emitf("LSRI %s, %s, #4", t, t)
+		} else {
+			cg.e.emitf("ANDI %s, %s, #15", t, t)
+		}
+	default:
+		cg.e.emitf("%s %s, [%s, #0]", loadOp(al.Array.ElemBits), t, ptr)
+		if start > 0 {
+			cg.e.emitf("LSRI %s, %s, #%d", t, t, start)
+		}
+		cg.e.emitf("ANDI %s, %s, #%d", t, t, (1<<width)-1)
+	}
+	return nil
+}
+
+// evalVecReduce emits lane-parallel accumulation over packed plane words
+// with periodic horizontal folds, yielding the plane's scalar contribution.
+func (cg *codegen) evalVecReduce(ex VecReduce) (isa.Reg, error) {
+	p, err := cg.ptr(packKey(ex.Array, ex.Plane, ex.WordStart))
+	if err != nil {
+		return 0, err
+	}
+	chunk := ex.ChunkWords
+	if chunk <= 0 || chunk > ex.NumWords {
+		chunk = ex.NumWords
+	}
+	if ex.NumWords%chunk != 0 {
+		return 0, fmt.Errorf("compiler: vector reduce: chunk %d does not divide %d words", chunk, ex.NumWords)
+	}
+	nChunks := ex.NumWords / chunk
+	lanes := 32 / ex.LaneBits
+	mask := (1 << ex.LaneBits) - 1
+
+	res, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	cg.e.emitf("MOVI %s, #0", res)
+	vacc, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	t, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+
+	oneChunk := func() error {
+		cg.e.emitf("MOVI %s, #0", vacc)
+		err := cg.genInnerCount(chunk, func() error {
+			cg.e.amenable()
+			cg.e.emitf("LDR %s, [%s, #0]", t, p.reg)
+			cg.e.amenable()
+			cg.e.emitf("ADD_ASV%d %s, %s", ex.LaneBits, vacc, t)
+			cg.e.emitf("ADDI %s, %s, #4", p.reg, p.reg)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Horizontal fold: add each lane into the scalar result.
+		for l := 0; l < lanes; l++ {
+			if sh := l * ex.LaneBits; sh > 0 {
+				cg.e.emitf("LSRI %s, %s, #%d", t, vacc, sh)
+			} else {
+				cg.e.emitf("MOV %s, %s", t, vacc)
+			}
+			cg.e.emitf("ANDI %s, %s, #%d", t, t, mask)
+			cg.e.emitf("ADD %s, %s, %s", res, res, t)
+		}
+		return nil
+	}
+
+	if nChunks == 1 {
+		if err := oneChunk(); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := cg.genInnerCount(nChunks, oneChunk); err != nil {
+			return 0, err
+		}
+	}
+	// Restore the plane pointer for the enclosing loop's own bookkeeping.
+	if err := cg.addImm(p.reg, -ex.NumWords*4); err != nil {
+		return 0, err
+	}
+	if ex.Shift > 0 {
+		cg.e.emitf("LSLI %s, %s, #%d", res, res, ex.Shift)
+	}
+	cg.ra.release(t)
+	cg.ra.release(vacc)
+	return res, nil
+}
+
+// genInnerCount emits a plain counted loop without pointer maintenance
+// (bodies advance pointers themselves).
+func (cg *codegen) genInnerCount(n int64, body func() error) error {
+	if n == 1 {
+		return body()
+	}
+	ctr, err := cg.ra.alloc()
+	if err != nil {
+		return err
+	}
+	cg.loadConst(ctr, uint32(n))
+	head := cg.e.fresh("Lv")
+	cg.e.placeLabel(head)
+	if err := body(); err != nil {
+		return err
+	}
+	cg.e.emitf("SUBIS %s, %s, #1", ctr, ctr)
+	cg.e.emitf("BNE %s", head)
+	cg.ra.release(ctr)
+	return nil
+}
+
+// evalASPDot lowers the Figure 12 combination: one vectorized load fetches
+// the subwords of several consecutive elements, each multiplied against its
+// full-precision companion via MUL_ASP.
+func (cg *codegen) evalASPDot(ex ASPDotPacked) (isa.Reg, error) {
+	pp, err := cg.ptr(packKey(ex.Array, ex.Plane, ex.Word))
+	if err != nil {
+		return 0, err
+	}
+	op, err := cg.ptr(rowKey(ex.OtherArray, ex.OtherIndex))
+	if err != nil {
+		return 0, err
+	}
+	alA := cg.layout.Arrays[ex.Array]
+	alO := cg.layout.Arrays[ex.OtherArray]
+	lanes := alA.LanesPerWord()
+	mask := (1 << alA.LaneBits) - 1
+
+	packed, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	cg.e.amenable()
+	cg.e.emitf("LDR %s, [%s, #0]", packed, pp.reg)
+	res, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	cg.e.emitf("MOVI %s, #0", res)
+	t, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	o, err := cg.ra.alloc()
+	if err != nil {
+		return 0, err
+	}
+	for l := 0; l < lanes; l++ {
+		if sh := l * alA.LaneBits; sh > 0 {
+			cg.e.emitf("LSRI %s, %s, #%d", t, packed, sh)
+		} else {
+			cg.e.emitf("MOV %s, %s", t, packed)
+		}
+		cg.e.emitf("ANDI %s, %s, #%d", t, t, mask)
+		off := int64(l) * ex.OtherStride * int64(alO.ElemBytes())
+		cg.e.emitf("%s %s, [%s, #%d]", loadOp(alO.Array.ElemBits), o, op.reg, off)
+		cg.e.amenable()
+		cg.e.emitf("MUL_ASP%d %s, %s, #%d", ex.Bits, o, t, ex.Sub)
+		cg.e.emitf("ADD %s, %s, %s", res, res, o)
+	}
+	cg.ra.release(o)
+	cg.ra.release(t)
+	cg.ra.release(packed)
+	return res, nil
+}

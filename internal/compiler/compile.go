@@ -1,0 +1,99 @@
+package compiler
+
+import (
+	"fmt"
+
+	"whatsnext/internal/asm"
+)
+
+// Options selects the compilation strategy for a kernel.
+type Options struct {
+	Mode Mode
+	// VectorLoads applies the Figure 12 optimization in ModeSWP: the
+	// ASP-annotated input is stored subword-major so one load fetches the
+	// subwords of several elements.
+	VectorLoads bool
+	// NoSkim suppresses skim-point insertion (ablation).
+	NoSkim bool
+}
+
+// Compiled is a fully lowered kernel: assembly text, the assembled program
+// image, and the data layout used to install inputs and extract outputs.
+type Compiled struct {
+	Kernel      *Kernel // possibly augmented with synthesized arrays
+	Options     Options
+	NumSubwords int
+	Asm         string
+	Program     *asm.Program
+	Layout      *Layout
+	EndLabel    string
+}
+
+// Compile lowers a kernel under the given options.
+func Compile(k *Kernel, opts Options) (*Compiled, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		segments [][]Stmt
+		numSub   = 1
+		target   = k
+		err      error
+	)
+	switch opts.Mode {
+	case ModePrecise:
+		segments = [][]Stmt{k.Body}
+	case ModeSWP:
+		segments, numSub, err = swpTransform(k, opts.VectorLoads)
+	case ModeSWV:
+		segments, target, numSub, err = swvTransform(k)
+	default:
+		err = fmt.Errorf("compiler: unknown mode %v", opts.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	layout, err := BuildLayout(target, opts.Mode, opts.VectorLoads)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &emitter{}
+	cg := newCodegen(e, target, layout, opts.Mode)
+	endLabel := "END"
+	for i, seg := range segments {
+		if len(segments) > 1 {
+			e.comment("subword pass %d of %d (most significant first)", i+1, len(segments))
+		}
+		if err := cg.openSegment(seg); err != nil {
+			return nil, fmt.Errorf("compiler: %s pass %d: %w", k.Name, i, err)
+		}
+		if err := cg.genStmts(seg); err != nil {
+			return nil, fmt.Errorf("compiler: %s pass %d: %w", k.Name, i, err)
+		}
+		cg.closeSegment()
+		if i < len(segments)-1 && !opts.NoSkim {
+			// An acceptable approximation now exists: arm the skim point so
+			// an outage commits the current result and moves on.
+			e.emitf("SKM %s", endLabel)
+		}
+	}
+	e.placeLabel(endLabel)
+	e.emitf("HALT")
+
+	text := e.String()
+	prog, err := asm.Assemble(text)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: %s: assembling generated code: %w", k.Name, err)
+	}
+	return &Compiled{
+		Kernel:      target,
+		Options:     opts,
+		NumSubwords: numSub,
+		Asm:         text,
+		Program:     prog,
+		Layout:      layout,
+		EndLabel:    endLabel,
+	}, nil
+}

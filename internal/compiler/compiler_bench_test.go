@@ -1,0 +1,62 @@
+package compiler
+
+import "testing"
+
+func benchKernel() *Kernel {
+	n := int64(64)
+	return &Kernel{
+		Name: "bench",
+		Arrays: []Array{
+			{Name: "A", ElemBits: 16, Len: int(n * n), Pragma: PragmaASP, SubwordBits: 4},
+			{Name: "B", ElemBits: 16, Len: int(n * n)},
+			{Name: "OUT", ElemBits: 32, Len: int(n * n)},
+		},
+		Body: []Stmt{Loop{Var: "i", N: n, Body: []Stmt{
+			Loop{Var: "j", N: n, Body: []Stmt{
+				Assign{Array: "OUT", Index: LinSum(LinVar("i", n, 0), LinVar("j", 1, 0)),
+					Value: Reduce{Var: "k", N: n, Body: Bin{Op: OpMul,
+						A: Load{Array: "B", Index: LinSum(LinVar("k", n, 0), LinVar("j", 1, 0))},
+						B: Load{Array: "A", Index: LinSum(LinVar("i", n, 0), LinVar("k", 1, 0))}}}},
+			}},
+		}}},
+	}
+}
+
+// BenchmarkCompilePrecise measures straight-line lowering + assembly.
+func BenchmarkCompilePrecise(b *testing.B) {
+	k := benchKernel()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(k, Options{Mode: ModePrecise}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileSWP measures the fission pass at 4 bits (4 passes).
+func BenchmarkCompileSWP(b *testing.B) {
+	k := benchKernel()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(k, Options{Mode: ModeSWP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpret measures the reference interpreter on the same kernel.
+func BenchmarkInterpret(b *testing.B) {
+	k := benchKernel()
+	in := map[string][]int64{}
+	for _, name := range []string{"A", "B"} {
+		vals := make([]int64, 64*64)
+		for i := range vals {
+			vals[i] = int64(i % 65536)
+		}
+		in[name] = vals
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Interpret(k, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

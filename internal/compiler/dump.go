@@ -1,0 +1,140 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a kernel as readable pseudo-source with its pragma
+// annotations — the inverse presentation of the paper's Listing 1/3 — for
+// debugging and for the wnsim -dump-ir flag.
+func Dump(k *Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s\n", k.Name)
+	for _, a := range k.Arrays {
+		switch a.Pragma {
+		case PragmaASP:
+			fmt.Fprintf(&b, "#pragma asp input(%s, %d)\n", a.Name, a.SubwordBits)
+		case PragmaASV:
+			extra := ""
+			if a.Provisioned {
+				extra = ", provisioned"
+			}
+			fmt.Fprintf(&b, "#pragma asv input(%s, %d%s)\n", a.Name, a.SubwordBits, extra)
+		}
+	}
+	for _, a := range k.Arrays {
+		attrs := ""
+		if a.Output {
+			attrs += " output"
+		}
+		if a.PostShift != 0 {
+			attrs += fmt.Sprintf(" >>%d", a.PostShift)
+		}
+		if a.ValueBits != 0 && a.ValueBits != a.ElemBits {
+			attrs += fmt.Sprintf(" value:%db", a.ValueBits)
+		}
+		fmt.Fprintf(&b, "uint%d %s[%d];%s\n", a.ElemBits, a.Name, a.Len, attrs)
+	}
+	dumpStmts(&b, k.Body, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func dumpStmts(b *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Loop:
+			indent(b, depth)
+			fmt.Fprintf(b, "for (%s = 0; %s < %d; %s++) {\n", st.Var, st.Var, st.N, st.Var)
+			dumpStmts(b, st.Body, depth+1)
+			indent(b, depth)
+			b.WriteString("}\n")
+		case Assign:
+			indent(b, depth)
+			op := "="
+			if st.Accumulate {
+				op = "+="
+			}
+			fmt.Fprintf(b, "%s[%s] %s %s;\n", st.Array, dumpLin(st.Index), op, dumpExpr(st.Value))
+		case PackedAssign:
+			indent(b, depth)
+			fmt.Fprintf(b, "%s.plane%d[%s] = %s;  // packed\n", st.Array, st.Plane, dumpLin(st.Word), dumpExpr(st.Value))
+		default:
+			indent(b, depth)
+			fmt.Fprintf(b, "/* %T */\n", s)
+		}
+	}
+}
+
+func dumpLin(l Lin) string {
+	var parts []string
+	for _, v := range l.vars() {
+		c := l.Coeff[v]
+		if c == 1 {
+			parts = append(parts, v)
+		} else {
+			parts = append(parts, fmt.Sprintf("%d*%s", c, v))
+		}
+	}
+	if l.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", l.Const))
+	}
+	return strings.Join(parts, "+")
+}
+
+func binOpSym(op BinOp) string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpShr:
+		return ">>"
+	case OpShl:
+		return "<<"
+	case OpBitAnd:
+		return "&"
+	case OpBitOr:
+		return "|"
+	case OpBitXor:
+		return "^"
+	}
+	return "?"
+}
+
+func dumpExpr(e Expr) string {
+	switch ex := e.(type) {
+	case Const:
+		return fmt.Sprintf("%d", ex.V)
+	case Load:
+		return fmt.Sprintf("%s[%s]", ex.Array, dumpLin(ex.Index))
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", dumpExpr(ex.A), binOpSym(ex.Op), dumpExpr(ex.B))
+	case Reduce:
+		return fmt.Sprintf("sum(%s<%d: %s)", ex.Var, ex.N, dumpExpr(ex.Body))
+	case ASPMul:
+		return fmt.Sprintf("(%s *asp%d sub%d(%s[%s]))", dumpExpr(ex.Other), ex.Bits, ex.Sub, ex.Array, dumpLin(ex.Index))
+	case ASPLoad:
+		return fmt.Sprintf("sub%d(%s[%s])<<%d", ex.Sub, ex.Array, dumpLin(ex.Index), ex.Start)
+	case ASVBin:
+		return fmt.Sprintf("(%s %s_asv%d %s)", dumpExpr(ex.A), binOpSym(ex.Op), ex.LaneBits, dumpExpr(ex.B))
+	case PackedLoad:
+		return fmt.Sprintf("%s.plane%d[%s]", ex.Array, ex.Plane, dumpLin(ex.Word))
+	case VecReduce:
+		return fmt.Sprintf("vsum(%s.plane%d[%s..+%d], lanes=%d)<<%d",
+			ex.Array, ex.Plane, dumpLin(ex.WordStart), ex.NumWords, 32/ex.LaneBits, ex.Shift)
+	case ASPDotPacked:
+		return fmt.Sprintf("vdot(%s.plane%d[%s], %s[%s], stride=%d, sub%d)",
+			ex.Array, ex.Plane, dumpLin(ex.Word), ex.OtherArray, dumpLin(ex.OtherIndex), ex.OtherStride, ex.Sub)
+	default:
+		return fmt.Sprintf("/*%T*/", e)
+	}
+}

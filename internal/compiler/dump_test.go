@@ -1,0 +1,62 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpSourceKernel(t *testing.T) {
+	out := Dump(aspKernel(8))
+	for _, want := range []string{
+		"kernel asp",
+		"#pragma asp input(A, 8)",
+		"uint16 A[8]",
+		"for (i = 0; i < 8; i++)",
+		"X[i] = (F[i] * A[i]);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpTransformedKernel(t *testing.T) {
+	segs, _, err := swpTransform(aspKernel(8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := aspKernel(8)
+	k.Body = segs[0]
+	out := Dump(k)
+	if !strings.Contains(out, "*asp8 sub1(A[i])") {
+		t.Errorf("dump should show the anytime multiply at the MS subword:\n%s", out)
+	}
+	if !strings.Contains(out, "X[i] +=") {
+		t.Errorf("fissioned pass should accumulate:\n%s", out)
+	}
+}
+
+func TestDumpASVKernel(t *testing.T) {
+	k := bitwiseKernel(OpBitXor, 8, false)
+	segs, aug, _, err := swvTransform(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug2 := *aug
+	aug2.Body = segs[0]
+	out := Dump(&aug2)
+	for _, want := range []string{"#pragma asv input(A, 8)", ".plane0[", "^_asv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpLinForms(t *testing.T) {
+	if got := dumpLin(LinConst(0)); got != "0" {
+		t.Errorf("const lin = %q", got)
+	}
+	if got := dumpLin(LinSum(LinVar("i", 3, 2), LinVar("j", 1, 0))); got != "3*i+j+2" {
+		t.Errorf("lin = %q", got)
+	}
+}

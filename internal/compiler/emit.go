@@ -1,0 +1,60 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"whatsnext/internal/isa"
+)
+
+// emitter accumulates assembly text with fresh-label support.
+type emitter struct {
+	b      strings.Builder
+	labelN int
+}
+
+func (e *emitter) emitf(format string, args ...any) {
+	fmt.Fprintf(&e.b, "    "+format+"\n", args...)
+}
+
+// amenable marks the next emitted instruction as WN-amenable for Table I
+// accounting.
+func (e *emitter) amenable() {
+	e.b.WriteString(".amenable\n")
+}
+
+func (e *emitter) placeLabel(l string) {
+	fmt.Fprintf(&e.b, "%s:\n", l)
+}
+
+func (e *emitter) fresh(prefix string) string {
+	e.labelN++
+	return fmt.Sprintf("%s_%d", prefix, e.labelN)
+}
+
+func (e *emitter) comment(format string, args ...any) {
+	fmt.Fprintf(&e.b, "    ; "+format+"\n", args...)
+}
+
+func (e *emitter) String() string { return e.b.String() }
+
+// regalloc hands out scratch registers R0..R12. SP/LR/PC are reserved.
+type regalloc struct {
+	inUse [13]bool
+}
+
+func (ra *regalloc) alloc() (isa.Reg, error) {
+	for i := range ra.inUse {
+		if !ra.inUse[i] {
+			ra.inUse[i] = true
+			return isa.Reg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("compiler: out of registers (13 scratch registers exhausted)")
+}
+
+func (ra *regalloc) release(r isa.Reg) {
+	if int(r) < len(ra.inUse) {
+		ra.inUse[r] = false
+	}
+}

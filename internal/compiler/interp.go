@@ -1,0 +1,153 @@
+package compiler
+
+import "fmt"
+
+// Interpret evaluates a source-IR kernel natively with the simulator's
+// integer semantics (32-bit wrap-around arithmetic, logical shifts,
+// zero-initialized arrays) and returns the final contents of every array.
+// It accepts only source IR — the anytime nodes produced by the SWP/SWV
+// passes are rejected — and serves as the reference model for differential
+// testing of the whole compile-assemble-execute pipeline.
+func Interpret(k *Kernel, inputs map[string][]int64) (map[string][]int64, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	it := &interp{k: k, arrays: map[string][]uint32{}, vars: map[string]int64{}}
+	for _, a := range k.Arrays {
+		store := make([]uint32, a.Len)
+		if vals, ok := inputs[a.Name]; ok {
+			if len(vals) > a.Len {
+				return nil, fmt.Errorf("compiler: interpret: %d values for %q of length %d", len(vals), a.Name, a.Len)
+			}
+			for i, v := range vals {
+				store[i] = uint32(uint64(v) & elemMask(a.ElemBits))
+			}
+		}
+		it.arrays[a.Name] = store
+	}
+	if err := it.stmts(k.Body); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]int64, len(it.arrays))
+	for name, store := range it.arrays {
+		a, _ := k.ArrayByName(name)
+		vals := make([]int64, len(store))
+		for i, v := range store {
+			vals[i] = int64(uint64(v) & elemMask(a.ElemBits))
+		}
+		out[name] = vals
+	}
+	return out, nil
+}
+
+type interp struct {
+	k      *Kernel
+	arrays map[string][]uint32
+	vars   map[string]int64
+}
+
+func (it *interp) index(array string, l Lin) (int, error) {
+	idx := l.Const
+	for v, c := range l.Coeff {
+		idx += c * it.vars[v]
+	}
+	a, _ := it.k.ArrayByName(array)
+	if idx < 0 || idx >= int64(a.Len) {
+		return 0, fmt.Errorf("compiler: interpret: %s[%d] out of bounds (len %d)", array, idx, a.Len)
+	}
+	return int(idx), nil
+}
+
+func (it *interp) stmts(body []Stmt) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Loop:
+			for i := int64(0); i < st.N; i++ {
+				it.vars[st.Var] = i
+				if err := it.stmts(st.Body); err != nil {
+					return err
+				}
+			}
+			delete(it.vars, st.Var)
+		case Assign:
+			v, err := it.eval(st.Value)
+			if err != nil {
+				return err
+			}
+			i, err := it.index(st.Array, st.Index)
+			if err != nil {
+				return err
+			}
+			a, _ := it.k.ArrayByName(st.Array)
+			cur := it.arrays[st.Array][i]
+			if st.Accumulate {
+				v += cur
+			}
+			it.arrays[st.Array][i] = uint32(uint64(v) & elemMask(a.ElemBits))
+		default:
+			return fmt.Errorf("compiler: interpret: unsupported statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (it *interp) eval(e Expr) (uint32, error) {
+	switch ex := e.(type) {
+	case Const:
+		return uint32(ex.V), nil
+	case Load:
+		i, err := it.index(ex.Array, ex.Index)
+		if err != nil {
+			return 0, err
+		}
+		return it.arrays[ex.Array][i], nil
+	case Bin:
+		a, err := it.eval(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := it.eval(ex.B)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case OpAdd:
+			return a + b, nil
+		case OpSub:
+			return a - b, nil
+		case OpMul:
+			return a * b, nil
+		case OpShr:
+			if b >= 32 {
+				return 0, nil
+			}
+			return a >> b, nil
+		case OpShl:
+			if b >= 32 {
+				return 0, nil
+			}
+			return a << b, nil
+		case OpBitAnd:
+			return a & b, nil
+		case OpBitOr:
+			return a | b, nil
+		case OpBitXor:
+			return a ^ b, nil
+		}
+		return 0, fmt.Errorf("compiler: interpret: unknown op %d", ex.Op)
+	case Reduce:
+		var sum uint32
+		for i := int64(0); i < ex.N; i++ {
+			it.vars[ex.Var] = i
+			v, err := it.eval(ex.Body)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+		}
+		delete(it.vars, ex.Var)
+		return sum, nil
+	default:
+		return 0, fmt.Errorf("compiler: interpret: unsupported expression %T (source IR only)", e)
+	}
+}

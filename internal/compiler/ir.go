@@ -1,0 +1,341 @@
+// Package compiler implements the What's Next compilation flow: a small
+// loop-nest intermediate representation with asp/asv pragma annotations
+// (Listings 1 and 3 of the paper), the loop-fission pass that rewrites
+// long-latency multiplies into anytime subword-pipelined passes
+// (Algorithm 1), the subword-vectorization pass that transposes annotated
+// arrays into subword-major order and emits lane-parallel ASV code, skim
+// point insertion, and code generation to the WN assembler dialect.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pragma kinds, mirroring the paper's #pragma asp / #pragma asv directives.
+type PragmaKind int
+
+const (
+	PragmaNone PragmaKind = iota
+	PragmaASP             // anytime subword pipelining input/output
+	PragmaASV             // anytime subword vectorization input/output
+)
+
+// Array declares a data array in non-volatile memory.
+type Array struct {
+	Name     string
+	ElemBits int  // 8, 16 or 32
+	Len      int  // element count
+	Output   bool // read back by the harness as kernel output
+	// PostShift is a right-shift the harness applies when interpreting the
+	// array as output values (raw 32-bit accumulators carry fixed-point
+	// scale). Zero for plain values.
+	PostShift int
+
+	Pragma      PragmaKind
+	SubwordBits int  // asp/asv subword size from the pragma
+	Provisioned bool // asv only: allocate double-width lanes for carries
+	// ValueBits is the significant precision of the data (the paper's
+	// pragmas declare the input precision alongside the subword size, e.g.
+	// a 12-bit ADC reading stored in a 16-bit element). Subword passes
+	// cover only the significant bits, so the most significant pass always
+	// carries real content. Zero means ElemBits.
+	ValueBits int
+}
+
+// EffectiveBits returns the significant data width used for subword
+// decomposition.
+func (a Array) EffectiveBits() int {
+	if a.ValueBits > 0 {
+		return a.ValueBits
+	}
+	return a.ElemBits
+}
+
+// Lin is an affine index expression over loop variables:
+// Coeff["i"]*i + ... + Const, in elements.
+type Lin struct {
+	Coeff map[string]int64
+	Const int64
+}
+
+// LinConst builds a constant index.
+func LinConst(c int64) Lin { return Lin{Const: c} }
+
+// LinVar builds the index c*v + k.
+func LinVar(v string, c, k int64) Lin {
+	return Lin{Coeff: map[string]int64{v: c}, Const: k}
+}
+
+// LinSum adds affine expressions.
+func LinSum(ls ...Lin) Lin {
+	out := Lin{Coeff: map[string]int64{}}
+	for _, l := range ls {
+		out.Const += l.Const
+		for v, c := range l.Coeff {
+			out.Coeff[v] += c
+		}
+	}
+	return out
+}
+
+// vars returns the variables with non-zero coefficients, sorted.
+func (l Lin) vars() []string {
+	var vs []string
+	for v, c := range l.Coeff {
+		if c != 0 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// key returns a canonical string identity for pointer-register sharing.
+func (l Lin) key() string {
+	s := fmt.Sprintf("%d", l.Const)
+	for _, v := range l.vars() {
+		s += fmt.Sprintf("+%d*%s", l.Coeff[v], v)
+	}
+	return s
+}
+
+// BinOp enumerates binary operators in expressions.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpShr // logical right shift by constant
+	OpShl // left shift by constant
+	// Bitwise operators are element-wise on the binary expansion of their
+	// operands — the paper's Section III-B vectorization condition holds
+	// trivially, so SWV needs no new hardware for them.
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+)
+
+// Expr is an expression tree node.
+type Expr interface{ exprNode() }
+
+// Const is an integer literal.
+type Const struct{ V int64 }
+
+// Load reads Array[Index].
+type Load struct {
+	Array string
+	Index Lin
+}
+
+// Bin applies Op to A and B. For OpShr/OpShl, B must be a Const.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// Reduce sums Body over Var in [0,N).
+type Reduce struct {
+	Var  string
+	N    int64
+	Body Expr
+}
+
+// ASPMul is the anytime subword-pipelined multiply produced by the SWP
+// pass: Other * subword(Array[Index], Sub), shifted into place. It never
+// appears in source IR.
+type ASPMul struct {
+	Other Expr
+	Array string
+	Index Lin
+	Bits  int
+	Sub   int // subword index, 0 = least significant
+	Start int // bit position of the subword within the value
+	Width int // subword width in bits (the least significant subword may be narrower)
+}
+
+// ASPLoad is the anytime subword-pipelined form of a plain load of an
+// annotated array: subword(Array[Index], Sub) shifted into its bit
+// position. Summation is trivially distributive, so annotated loads inside
+// reductions refine pass by pass like multiplies do. Produced by the SWP
+// pass only.
+type ASPLoad struct {
+	Array string
+	Index Lin
+	Bits  int
+	Sub   int
+	Start int
+	Width int
+}
+
+// PackedLoad reads a packed subword-plane word (the Figure 12
+// vectorized-load optimization for SWP inputs). Produced by passes only.
+type PackedLoad struct {
+	Array string
+	Plane int
+	Word  Lin // word index within the plane
+}
+
+func (Const) exprNode()      {}
+func (Load) exprNode()       {}
+func (Bin) exprNode()        {}
+func (Reduce) exprNode()     {}
+func (ASPMul) exprNode()     {}
+func (ASPLoad) exprNode()    {}
+func (PackedLoad) exprNode() {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Loop iterates Var over [0,N) running Body.
+type Loop struct {
+	Var  string
+	N    int64
+	Body []Stmt
+}
+
+// Assign stores Value into Array[Index]; with Accumulate it adds to the
+// existing element instead.
+type Assign struct {
+	Array      string
+	Index      Lin
+	Value      Expr
+	Accumulate bool
+}
+
+func (Loop) stmtNode()   {}
+func (Assign) stmtNode() {}
+
+// Kernel is a compilable unit: arrays plus a statement list.
+type Kernel struct {
+	Name   string
+	Arrays []Array
+	Body   []Stmt
+}
+
+// ArrayByName finds an array declaration.
+func (k *Kernel) ArrayByName(name string) (*Array, bool) {
+	for i := range k.Arrays {
+		if k.Arrays[i].Name == name {
+			return &k.Arrays[i], true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks structural invariants: declared arrays, supported element
+// widths, in-bounds constant indices, loop variables defined before use.
+func (k *Kernel) Validate() error {
+	names := map[string]bool{}
+	for _, a := range k.Arrays {
+		if names[a.Name] {
+			return fmt.Errorf("compiler: duplicate array %q", a.Name)
+		}
+		names[a.Name] = true
+		switch a.ElemBits {
+		case 8, 16, 32:
+		default:
+			return fmt.Errorf("compiler: array %q has unsupported width %d", a.Name, a.ElemBits)
+		}
+		if a.Len <= 0 {
+			return fmt.Errorf("compiler: array %q has length %d", a.Name, a.Len)
+		}
+		if a.Pragma != PragmaNone {
+			switch a.SubwordBits {
+			case 1, 2, 3, 4, 8:
+			default:
+				return fmt.Errorf("compiler: array %q pragma subword %d unsupported", a.Name, a.SubwordBits)
+			}
+		}
+		if a.ValueBits < 0 || a.ValueBits > a.ElemBits {
+			return fmt.Errorf("compiler: array %q value width %d exceeds element width %d", a.Name, a.ValueBits, a.ElemBits)
+		}
+	}
+	vars := map[string]bool{}
+	return validateStmts(k, k.Body, vars)
+}
+
+func validateStmts(k *Kernel, body []Stmt, vars map[string]bool) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Loop:
+			if st.N <= 0 {
+				return fmt.Errorf("compiler: loop %q has trip count %d", st.Var, st.N)
+			}
+			if vars[st.Var] {
+				return fmt.Errorf("compiler: loop variable %q shadows an outer loop", st.Var)
+			}
+			vars[st.Var] = true
+			if err := validateStmts(k, st.Body, vars); err != nil {
+				return err
+			}
+			delete(vars, st.Var)
+		case Assign:
+			if _, ok := k.ArrayByName(st.Array); !ok {
+				return fmt.Errorf("compiler: assign to undeclared array %q", st.Array)
+			}
+			if err := validateLin(st.Index, vars); err != nil {
+				return err
+			}
+			if err := validateExpr(k, st.Value, vars); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("compiler: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func validateLin(l Lin, vars map[string]bool) error {
+	for v := range l.Coeff {
+		if !vars[v] {
+			return fmt.Errorf("compiler: index uses undefined variable %q", v)
+		}
+	}
+	return nil
+}
+
+func validateExpr(k *Kernel, e Expr, vars map[string]bool) error {
+	switch ex := e.(type) {
+	case Const:
+		return nil
+	case Load:
+		if _, ok := k.ArrayByName(ex.Array); !ok {
+			return fmt.Errorf("compiler: load from undeclared array %q", ex.Array)
+		}
+		return validateLin(ex.Index, vars)
+	case Bin:
+		if ex.Op == OpShr || ex.Op == OpShl {
+			if _, ok := ex.B.(Const); !ok {
+				return fmt.Errorf("compiler: shift amount must be constant")
+			}
+		}
+		if err := validateExpr(k, ex.A, vars); err != nil {
+			return err
+		}
+		return validateExpr(k, ex.B, vars)
+	case Reduce:
+		if ex.N <= 0 {
+			return fmt.Errorf("compiler: reduce %q has trip count %d", ex.Var, ex.N)
+		}
+		if vars[ex.Var] {
+			return fmt.Errorf("compiler: reduce variable %q shadows an outer loop", ex.Var)
+		}
+		vars[ex.Var] = true
+		defer delete(vars, ex.Var)
+		return validateExpr(k, ex.Body, vars)
+	case ASPMul:
+		if err := validateExpr(k, ex.Other, vars); err != nil {
+			return err
+		}
+		return validateLin(ex.Index, vars)
+	case ASPLoad:
+		return validateLin(ex.Index, vars)
+	case PackedLoad:
+		return validateLin(ex.Word, vars)
+	default:
+		return fmt.Errorf("compiler: unknown expression %T", e)
+	}
+}

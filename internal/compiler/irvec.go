@@ -1,0 +1,56 @@
+package compiler
+
+// IR nodes produced by the SWP/SWV passes (never present in source IR).
+
+// ASVBin is a lane-parallel add/subtract on packed subword-plane words,
+// compiled to ADD_ASV/SUB_ASV with the given lane width.
+type ASVBin struct {
+	Op       BinOp // OpAdd or OpSub
+	A, B     Expr
+	LaneBits int
+}
+
+// PackedAssign stores a 32-bit packed word into a plane of a planar array.
+type PackedAssign struct {
+	Array string
+	Plane int
+	Word  Lin
+	Value Expr
+}
+
+// VecReduce sums the lanes of NumWords consecutive packed words of one
+// plane, using lane-parallel accumulation with a horizontal fold every
+// ChunkWords words (bounding lane overflow), and yields the plane's scalar
+// partial sum shifted left by Shift bits — its contribution at the plane's
+// subword position.
+type VecReduce struct {
+	Array      string
+	Plane      int
+	WordStart  Lin
+	NumWords   int64
+	ChunkWords int64 // must divide NumWords; 0 means NumWords (single fold)
+	LaneBits   int
+	Shift      int
+}
+
+// ASPDotPacked computes a partial dot product from one packed subword word
+// (the Figure 12 SWP+vectorized-loads optimization):
+//
+//	sum over lanes l of subword_lane(l) * Other[OtherIndex + l*OtherStride]
+//
+// with each product formed by a MUL_ASP at subword position Sub.
+type ASPDotPacked struct {
+	Array       string // planar ASP input
+	Plane       int
+	Word        Lin
+	Bits        int
+	Sub         int
+	OtherArray  string
+	OtherIndex  Lin   // element index of the lane-0 companion operand
+	OtherStride int64 // element stride between consecutive lanes
+}
+
+func (ASVBin) exprNode()       {}
+func (VecReduce) exprNode()    {}
+func (ASPDotPacked) exprNode() {}
+func (PackedAssign) stmtNode() {}

@@ -1,0 +1,242 @@
+package compiler
+
+import (
+	"fmt"
+
+	"whatsnext/internal/mem"
+)
+
+// Mode selects the compilation strategy.
+type Mode int
+
+const (
+	ModePrecise Mode = iota // conventional full-precision code
+	ModeSWP                 // anytime subword pipelining (Section III-A)
+	ModeSWV                 // anytime subword vectorization (Section III-B)
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePrecise:
+		return "precise"
+	case ModeSWP:
+		return "swp"
+	case ModeSWV:
+		return "swv"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ArrayLayout records where and how one array lives in non-volatile data
+// memory. Planar arrays are stored in subword-major order (Figure 7): plane
+// 0 holds the most significant subword of every element, packed into
+// LaneBits-wide lanes inside 32-bit words.
+type ArrayLayout struct {
+	Array      Array
+	Base       uint32
+	Planar     bool
+	LaneBits   int // lane width in planes: SubwordBits, doubled if provisioned
+	NumPlanes  int // subwords per element
+	PlaneBytes int // bytes per plane, word-aligned
+	TotalBytes int
+}
+
+// LanesPerWord returns how many lanes one 32-bit word holds.
+func (al ArrayLayout) LanesPerWord() int { return 32 / al.LaneBits }
+
+// PlaneForSub maps a least-significant-first subword index to its plane
+// index (plane 0 is the most significant subword, stored first).
+func (al ArrayLayout) PlaneForSub(sub int) int { return al.NumPlanes - 1 - sub }
+
+// PlaneBase returns the address of a plane.
+func (al ArrayLayout) PlaneBase(plane int) uint32 {
+	return al.Base + uint32(plane*al.PlaneBytes)
+}
+
+// SubBits returns the width in bits of the given subword (the top subword
+// may be narrower when SubwordBits does not divide the significant width).
+func (al ArrayLayout) SubBits(sub int) int {
+	b := al.Array.SubwordBits
+	if rem := al.Array.EffectiveBits() - sub*b; rem < b {
+		return rem
+	}
+	return b
+}
+
+// ElemBytes returns the element size of a row-major array.
+func (al ArrayLayout) ElemBytes() int { return al.Array.ElemBits / 8 }
+
+// Layout places every kernel array in data memory.
+type Layout struct {
+	Arrays     map[string]ArrayLayout
+	TotalBytes int
+}
+
+// BuildLayout assigns addresses. SWV-annotated arrays become planar in
+// ModeSWV; ASP-annotated arrays become planar (unprovisioned) in ModeSWP
+// when vectorLoads is set — the Figure 12 load-vectorization option.
+func BuildLayout(k *Kernel, mode Mode, vectorLoads bool) (*Layout, error) {
+	l := &Layout{Arrays: make(map[string]ArrayLayout, len(k.Arrays))}
+	addr := uint32(mem.DataBase)
+	for _, a := range k.Arrays {
+		al := ArrayLayout{Array: a, Base: addr}
+		planar := (mode == ModeSWV && a.Pragma == PragmaASV) ||
+			(mode == ModeSWP && vectorLoads && a.Pragma == PragmaASP)
+		if planar {
+			b := a.SubwordBits
+			if b <= 0 {
+				return nil, fmt.Errorf("compiler: array %q is annotated but has no subword size", a.Name)
+			}
+			al.Planar = true
+			al.NumPlanes = (a.EffectiveBits() + b - 1) / b
+			al.LaneBits = b
+			if mode == ModeSWV && a.Provisioned {
+				al.LaneBits = 2 * b
+			}
+			// Round lane width up to a divisor of 32 so lanes never
+			// straddle words: 1,2,4,8,16 are fine; 3 and 6 round to 4 and 8.
+			for 32%al.LaneBits != 0 {
+				al.LaneBits++
+			}
+			lpw := 32 / al.LaneBits
+			words := (a.Len + lpw - 1) / lpw
+			al.PlaneBytes = words * 4
+			al.TotalBytes = al.PlaneBytes * al.NumPlanes
+		} else {
+			al.TotalBytes = a.Len * a.ElemBits / 8
+			al.TotalBytes = (al.TotalBytes + 3) &^ 3
+		}
+		l.Arrays[a.Name] = al
+		addr += uint32(al.TotalBytes)
+		// Keep arrays word-aligned.
+		addr = (addr + 3) &^ 3
+	}
+	l.TotalBytes = int(addr - mem.DataBase)
+	return l, nil
+}
+
+// Of returns the layout of a named array.
+func (l *Layout) Of(name string) (ArrayLayout, error) {
+	al, ok := l.Arrays[name]
+	if !ok {
+		return ArrayLayout{}, fmt.Errorf("compiler: no layout for array %q", name)
+	}
+	return al, nil
+}
+
+func elemMask(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << bits) - 1
+}
+
+// Install writes element values into memory in the array's layout. Values
+// are truncated to the element width.
+func (l *Layout) Install(m *mem.Memory, name string, vals []int64) error {
+	al, err := l.Of(name)
+	if err != nil {
+		return err
+	}
+	if len(vals) > al.Array.Len {
+		return fmt.Errorf("compiler: %d values for array %q of length %d", len(vals), name, al.Array.Len)
+	}
+	if al.Array.Pragma != PragmaNone {
+		limit := int64(1) << al.Array.EffectiveBits()
+		for i, v := range vals {
+			if v < 0 || v >= limit {
+				return fmt.Errorf("compiler: array %q element %d (%d) exceeds its declared %d-bit precision",
+					name, i, v, al.Array.EffectiveBits())
+			}
+		}
+	}
+	buf := make([]byte, al.TotalBytes)
+	if al.Planar {
+		l.encodePlanar(al, vals, buf)
+	} else {
+		eb := al.ElemBytes()
+		for i, v := range vals {
+			u := uint64(v) & elemMask(al.Array.ElemBits)
+			for b := 0; b < eb; b++ {
+				buf[i*eb+b] = byte(u >> (8 * b))
+			}
+		}
+	}
+	return m.WriteData(al.Base, buf)
+}
+
+func (l *Layout) encodePlanar(al ArrayLayout, vals []int64, buf []byte) {
+	b := al.Array.SubwordBits
+	lpw := al.LanesPerWord()
+	for i, v := range vals {
+		u := uint64(v) & elemMask(al.Array.ElemBits)
+		for sub := 0; sub < al.NumPlanes; sub++ {
+			sw := (u >> (b * sub)) & elemMask(al.SubBits(sub))
+			plane := al.PlaneForSub(sub)
+			word := i / lpw
+			lane := i % lpw
+			off := plane*al.PlaneBytes + word*4
+			cur := uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24
+			cur |= uint32(sw) << (lane * al.LaneBits)
+			buf[off], buf[off+1], buf[off+2], buf[off+3] = byte(cur), byte(cur>>8), byte(cur>>16), byte(cur>>24)
+		}
+	}
+}
+
+// Extract reads element values back out of memory, reconstructing planar
+// arrays by summing lanes at their subword positions — the carry-aware
+// reconstruction that makes provisioned vectorization exact.
+func (l *Layout) Extract(m *mem.Memory, name string) ([]int64, error) {
+	al, err := l.Of(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, al.TotalBytes)
+	if err := m.ReadData(al.Base, buf); err != nil {
+		return nil, err
+	}
+	vals := make([]int64, al.Array.Len)
+	if al.Planar {
+		b := al.Array.SubwordBits
+		lpw := al.LanesPerWord()
+		laneMask := elemMask(al.LaneBits)
+		for i := range vals {
+			var acc uint64
+			for sub := 0; sub < al.NumPlanes; sub++ {
+				plane := al.PlaneForSub(sub)
+				word := i / lpw
+				lane := i % lpw
+				off := plane*al.PlaneBytes + word*4
+				cur := uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24
+				lv := uint64(cur>>(lane*al.LaneBits)) & laneMask
+				acc += lv << (b * sub)
+			}
+			vals[i] = int64(acc & elemMask(al.Array.ElemBits))
+		}
+	} else {
+		eb := al.ElemBytes()
+		for i := range vals {
+			var u uint64
+			for bb := 0; bb < eb; bb++ {
+				u |= uint64(buf[i*eb+bb]) << (8 * bb)
+			}
+			vals[i] = int64(u)
+		}
+	}
+	return vals, nil
+}
+
+// OutputValues extracts an output array and applies its PostShift scaling,
+// returning display-domain values for quality metrics.
+func (l *Layout) OutputValues(m *mem.Memory, name string) ([]float64, error) {
+	raw, err := l.Extract(m, name)
+	if err != nil {
+		return nil, err
+	}
+	al := l.Arrays[name]
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = float64(uint64(v) >> al.Array.PostShift)
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package compiler
+
+import "fmt"
+
+// The anytime subword pipelining pass (Algorithm 1 of the paper): for each
+// long-latency multiply whose operand is annotated with #pragma asp, the
+// enclosing computation is fissioned into one pass per subword, most
+// significant first. Each pass rewrites the multiply into its anytime
+// MUL_ASP equivalent at that pass's subword position, and assignments that
+// receive subworded products become accumulations so the passes sum to the
+// precise result. A skim point is inserted after every pass.
+
+// aspParams finds the (unique) subword parameters of the ASP-annotated
+// arrays in the kernel.
+func aspParams(k *Kernel) (bits, elemBits int, err error) {
+	for _, a := range k.Arrays {
+		if a.Pragma != PragmaASP {
+			continue
+		}
+		if bits == 0 {
+			bits, elemBits = a.SubwordBits, a.EffectiveBits()
+			continue
+		}
+		if a.SubwordBits != bits || a.EffectiveBits() != elemBits {
+			return 0, 0, fmt.Errorf("compiler: swp: asp arrays disagree on subword/value width")
+		}
+	}
+	if bits == 0 {
+		return 0, 0, fmt.Errorf("compiler: swp: kernel %q has no #pragma asp arrays", k.Name)
+	}
+	return bits, elemBits, nil
+}
+
+// subwordSpan is one subword's bit range within a value.
+type subwordSpan struct {
+	Start int
+	Width int
+}
+
+// subwordSpans decomposes a valueBits-wide datum into b-bit subwords
+// aligned from the most significant end, so that the first anytime pass
+// always processes a full-width subword. When b does not divide valueBits,
+// the least significant subword is the narrow remainder. The returned
+// slice is indexed least-significant-first.
+func subwordSpans(valueBits, b int) []subwordSpan {
+	numSub := (valueBits + b - 1) / b
+	spans := make([]subwordSpan, numSub)
+	for j := range spans {
+		start := valueBits - b*(numSub-j)
+		width := b
+		if start < 0 {
+			width += start
+			start = 0
+		}
+		spans[j] = subwordSpan{Start: start, Width: width}
+	}
+	return spans
+}
+
+// swpTransform produces one code segment per subword pass.
+func swpTransform(k *Kernel, vectorLoads bool) (segments [][]Stmt, numSub int, err error) {
+	bits, elemBits, err := aspParams(k)
+	if err != nil {
+		return nil, 0, err
+	}
+	spans := subwordSpans(elemBits, bits)
+	numSub = len(spans)
+	if vectorLoads && elemBits%bits != 0 {
+		return nil, 0, fmt.Errorf("compiler: swp: vectorized loads require the subword size to divide the %d-bit value width", elemBits)
+	}
+	tr := &swpRewriter{k: k, bits: bits, numSub: numSub, spans: spans, vectorLoads: vectorLoads}
+	for sub := numSub - 1; sub >= 0; sub-- {
+		tr.sub = sub
+		seg, err := tr.stmts(k.Body)
+		if err != nil {
+			return nil, 0, err
+		}
+		segments = append(segments, seg)
+	}
+	return segments, numSub, nil
+}
+
+type swpRewriter struct {
+	k           *Kernel
+	bits        int
+	numSub      int
+	spans       []subwordSpan
+	sub         int
+	vectorLoads bool
+}
+
+func (t *swpRewriter) aspMul(other Expr, ld Load) ASPMul {
+	sp := t.spans[t.sub]
+	return ASPMul{Other: other, Array: ld.Array, Index: ld.Index,
+		Bits: t.bits, Sub: t.sub, Start: sp.Start, Width: sp.Width}
+}
+
+func (t *swpRewriter) isASPLoad(e Expr) (Load, bool) {
+	ld, ok := e.(Load)
+	if !ok {
+		return Load{}, false
+	}
+	a, ok := t.k.ArrayByName(ld.Array)
+	return ld, ok && a.Pragma == PragmaASP
+}
+
+func (t *swpRewriter) stmts(body []Stmt) ([]Stmt, error) {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case Loop:
+			nb, err := t.stmts(st.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Loop{Var: st.Var, N: st.N, Body: nb})
+		case Assign:
+			nv, err := t.expr(st.Value)
+			if err != nil {
+				return nil, err
+			}
+			na := Assign{Array: st.Array, Index: st.Index, Value: nv, Accumulate: st.Accumulate}
+			if containsAnytime(nv) {
+				// Subword contributions accumulate across passes into the
+				// (zero-initialized) output so the final pass is exact —
+				// which is only sound when every additive term of the value
+				// carries a subword factor. A mixed expression like
+				// A[i] + subword(B[i]) would re-add the precise term in
+				// every pass.
+				if !anytimeHomogeneous(nv) {
+					return nil, fmt.Errorf("compiler: swp: assignment to %q mixes approximate and precise additive terms; it cannot be fissioned into subword passes", st.Array)
+				}
+				na.Accumulate = true
+			}
+			out = append(out, na)
+		default:
+			return nil, fmt.Errorf("compiler: swp: unsupported statement %T", s)
+		}
+	}
+	return out, nil
+}
+
+func (t *swpRewriter) expr(e Expr) (Expr, error) {
+	switch ex := e.(type) {
+	case Const:
+		return e, nil
+	case Load:
+		// A bare load of an annotated array inside a summation refines
+		// pass by pass too: the identity is trivially distributive.
+		if _, ok := t.isASPLoad(ex); ok {
+			sp := t.spans[t.sub]
+			return ASPLoad{Array: ex.Array, Index: ex.Index, Bits: t.bits,
+				Sub: t.sub, Start: sp.Start, Width: sp.Width}, nil
+		}
+		return e, nil
+	case Bin:
+		if ex.Op == OpMul {
+			if ld, ok := t.isASPLoad(ex.B); ok {
+				other, err := t.otherOperand(ex.A)
+				if err != nil {
+					return nil, err
+				}
+				return t.aspMul(other, ld), nil
+			}
+			if ld, ok := t.isASPLoad(ex.A); ok {
+				other, err := t.otherOperand(ex.B)
+				if err != nil {
+					return nil, err
+				}
+				return t.aspMul(other, ld), nil
+			}
+		}
+		a, err := t.expr(ex.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := t.expr(ex.B)
+		if err != nil {
+			return nil, err
+		}
+		return Bin{Op: ex.Op, A: a, B: b}, nil
+	case Reduce:
+		if t.vectorLoads {
+			if dot, ok, err := t.tryVectorizeReduce(ex); err != nil {
+				return nil, err
+			} else if ok {
+				return dot, nil
+			}
+		}
+		body, err := t.expr(ex.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Reduce{Var: ex.Var, N: ex.N, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("compiler: swp: unsupported expression %T", e)
+	}
+}
+
+// otherOperand rewrites the full-precision operand of an anytime multiply.
+// A direct load stays a full-word load (the paper's F[i] operand is loaded
+// in its entirety) even when its array happens to carry an asp pragma, as
+// in Var's x*x squaring.
+func (t *swpRewriter) otherOperand(e Expr) (Expr, error) {
+	if _, ok := e.(Load); ok {
+		return e, nil
+	}
+	return t.expr(e)
+}
+
+// tryVectorizeReduce applies the Figure 12 load-vectorization: a reduction
+// whose body multiplies a unit-stride ASP load against another load becomes
+// a reduction over packed plane words, each word feeding several MUL_ASPs.
+func (t *swpRewriter) tryVectorizeReduce(ex Reduce) (Expr, bool, error) {
+	mul, ok := ex.Body.(Bin)
+	if !ok || mul.Op != OpMul {
+		return nil, false, nil
+	}
+	aspLd, aok := t.isASPLoad(mul.A)
+	var otherLd Load
+	if aok {
+		o, ok := mul.B.(Load)
+		if !ok {
+			return nil, false, nil
+		}
+		otherLd = o
+	} else {
+		aspLd, aok = t.isASPLoad(mul.B)
+		if !aok {
+			return nil, false, nil
+		}
+		o, ok := mul.A.(Load)
+		if !ok {
+			return nil, false, nil
+		}
+		otherLd = o
+	}
+	if aspLd.Index.Coeff[ex.Var] != 1 {
+		return nil, false, nil
+	}
+	lane := t.bits
+	for 32%lane != 0 {
+		lane++
+	}
+	lpw := int64(32 / lane)
+	if ex.N%lpw != 0 {
+		return nil, false, fmt.Errorf("compiler: swp: reduce trip %d not divisible by %d lanes", ex.N, lpw)
+	}
+	// Word index = (element index with reduce var removed)/lpw + kw.
+	word := Lin{Coeff: map[string]int64{}, Const: aspLd.Index.Const / lpw}
+	if aspLd.Index.Const%lpw != 0 {
+		return nil, false, fmt.Errorf("compiler: swp: asp base offset not lane aligned")
+	}
+	for v, c := range aspLd.Index.Coeff {
+		if v == ex.Var {
+			continue
+		}
+		if c%lpw != 0 {
+			return nil, false, fmt.Errorf("compiler: swp: asp index coefficient %d not divisible by %d", c, lpw)
+		}
+		word.Coeff[v] = c / lpw
+	}
+	kw := ex.Var + "_w"
+	word.Coeff[kw] = 1
+	stride := otherLd.Index.Coeff[ex.Var]
+	otherIdx := Lin{Coeff: map[string]int64{}, Const: otherLd.Index.Const}
+	for v, c := range otherLd.Index.Coeff {
+		if v == ex.Var {
+			continue
+		}
+		otherIdx.Coeff[v] = c
+	}
+	otherIdx.Coeff[kw] = stride * lpw
+	plane := t.numSub - 1 - t.sub
+	return Reduce{
+		Var: kw,
+		N:   ex.N / lpw,
+		Body: ASPDotPacked{
+			Array: aspLd.Array, Plane: plane, Word: word,
+			Bits: t.bits, Sub: t.sub,
+			OtherArray: otherLd.Array, OtherIndex: otherIdx, OtherStride: stride,
+		},
+	}, true, nil
+}
+
+// anytimeHomogeneous reports whether every additive term of the expression
+// carries an anytime (subworded) factor, so that summing the expression
+// over all subword passes telescopes to the precise value. Shifts truncate
+// per pass and are therefore not distributive over the pass sum.
+func anytimeHomogeneous(e Expr) bool {
+	switch ex := e.(type) {
+	case ASPMul, ASPLoad, ASPDotPacked:
+		return true
+	case Bin:
+		if ex.Op == OpAdd || ex.Op == OpSub {
+			return anytimeHomogeneous(ex.A) && anytimeHomogeneous(ex.B)
+		}
+		return false
+	case Reduce:
+		return anytimeHomogeneous(ex.Body)
+	}
+	return false
+}
+
+// containsAnytime reports whether the expression embeds an anytime multiply.
+func containsAnytime(e Expr) bool {
+	switch ex := e.(type) {
+	case ASPMul, ASPDotPacked, ASPLoad:
+		return true
+	case Bin:
+		return containsAnytime(ex.A) || containsAnytime(ex.B)
+	case Reduce:
+		return containsAnytime(ex.Body)
+	case ASVBin:
+		return containsAnytime(ex.A) || containsAnytime(ex.B)
+	}
+	return false
+}

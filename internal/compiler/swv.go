@@ -1,0 +1,287 @@
+package compiler
+
+import "fmt"
+
+// The anytime subword vectorization pass (Section III-B): arrays annotated
+// with #pragma asv are transposed into subword-major planes (Figure 7), and
+// the code is fissioned into one pass per subword, most significant first.
+// Element-wise operations become lane-parallel ADD_ASV/SUB_ASV over packed
+// words; reductions become lane-parallel accumulations with horizontal
+// folds. With provisioned vectorization, lanes are allocated double width
+// so carry bits are preserved and the final result is exact.
+
+// asvParams extracts the (unique) subword parameters of ASV arrays.
+func asvParams(k *Kernel) (bits, elemBits int, provisioned bool, err error) {
+	found := false
+	for _, a := range k.Arrays {
+		if a.Pragma != PragmaASV {
+			continue
+		}
+		if !found {
+			bits, elemBits, provisioned = a.SubwordBits, a.EffectiveBits(), a.Provisioned
+			found = true
+			continue
+		}
+		if a.SubwordBits != bits || a.EffectiveBits() != elemBits || a.Provisioned != provisioned {
+			return 0, 0, false, fmt.Errorf("compiler: swv: asv arrays disagree on subword/value width or provisioning")
+		}
+	}
+	if !found {
+		return 0, 0, false, fmt.Errorf("compiler: swv: kernel %q has no #pragma asv arrays", k.Name)
+	}
+	return bits, elemBits, provisioned, nil
+}
+
+// asvLaneBits computes the plane lane width for the given pragma
+// parameters, matching BuildLayout.
+func asvLaneBits(bits int, provisioned bool) int {
+	lane := bits
+	if provisioned {
+		lane = 2 * bits
+	}
+	for 32%lane != 0 {
+		lane++
+	}
+	return lane
+}
+
+// swvTransform produces one code segment per subword pass, possibly
+// augmenting the kernel with synthesized 32-bit partial-sum arrays for
+// reductions. It returns the augmented kernel to lay out and compile.
+func swvTransform(k *Kernel) (segments [][]Stmt, aug *Kernel, numSub int, err error) {
+	bits, elemBits, provisioned, err := asvParams(k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	numSub = (elemBits + bits - 1) / bits
+	augmented := &Kernel{Name: k.Name, Arrays: append([]Array(nil), k.Arrays...), Body: k.Body}
+	tr := &swvRewriter{
+		k: augmented, bits: bits, numSub: numSub,
+		laneBits:  asvLaneBits(bits, provisioned),
+		sumArrays: map[string]string{},
+	}
+	for sub := numSub - 1; sub >= 0; sub-- {
+		tr.sub = sub
+		seg, err := tr.stmts(augmented.Body)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		segments = append(segments, seg)
+	}
+	return segments, augmented, numSub, nil
+}
+
+type swvRewriter struct {
+	k         *Kernel
+	bits      int
+	numSub    int
+	laneBits  int
+	sub       int
+	sumArrays map[string]string // output array -> synthesized sum array
+}
+
+func (t *swvRewriter) isASV(name string) bool {
+	a, ok := t.k.ArrayByName(name)
+	return ok && a.Pragma == PragmaASV
+}
+
+func (t *swvRewriter) plane() int { return t.numSub - 1 - t.sub }
+
+func (t *swvRewriter) lanesPerWord() int64 { return int64(32 / t.laneBits) }
+
+func (t *swvRewriter) stmts(body []Stmt) ([]Stmt, error) {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case Loop:
+			if packed, ok, err := t.tryElementwise(st); err != nil {
+				return nil, err
+			} else if ok {
+				out = append(out, packed)
+				continue
+			}
+			nb, err := t.stmts(st.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Loop{Var: st.Var, N: st.N, Body: nb})
+		case Assign:
+			repl, err := t.rewriteAssign(st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, repl...)
+		default:
+			return nil, fmt.Errorf("compiler: swv: unsupported statement %T", s)
+		}
+	}
+	return out, nil
+}
+
+// tryElementwise recognizes "for i: X[i] = A[i] op B[i]" over ASV arrays and
+// rewrites it into a loop over packed plane words.
+func (t *swvRewriter) tryElementwise(lp Loop) (Stmt, bool, error) {
+	if len(lp.Body) != 1 {
+		return nil, false, nil
+	}
+	as, ok := lp.Body[0].(Assign)
+	if !ok || as.Accumulate || !t.isASV(as.Array) {
+		return nil, false, nil
+	}
+	bin, ok := as.Value.(Bin)
+	if !ok {
+		return nil, false, nil
+	}
+	switch bin.Op {
+	case OpAdd, OpSub, OpBitAnd, OpBitOr, OpBitXor:
+	default:
+		return nil, false, nil
+	}
+	la, aok := bin.A.(Load)
+	lb, bok := bin.B.(Load)
+	if !aok || !bok || !t.isASV(la.Array) || !t.isASV(lb.Array) {
+		return nil, false, nil
+	}
+	for _, lin := range []Lin{as.Index, la.Index, lb.Index} {
+		if lin.Coeff[lp.Var] != 1 || len(lin.vars()) != 1 || lin.Const != 0 {
+			return nil, false, nil
+		}
+	}
+	lpw := t.lanesPerWord()
+	if lp.N%lpw != 0 {
+		return nil, false, fmt.Errorf("compiler: swv: trip count %d not divisible by %d lanes", lp.N, lpw)
+	}
+	wv := lp.Var + "_w"
+	word := LinVar(wv, 1, 0)
+	plane := t.plane()
+	return Loop{
+		Var: wv, N: lp.N / lpw,
+		Body: []Stmt{PackedAssign{
+			Array: as.Array, Plane: plane, Word: word,
+			Value: ASVBin{
+				Op:       bin.Op,
+				A:        PackedLoad{Array: la.Array, Plane: plane, Word: word},
+				B:        PackedLoad{Array: lb.Array, Plane: plane, Word: word},
+				LaneBits: t.laneBits,
+			},
+		}},
+	}, true, nil
+}
+
+// rewriteAssign handles reduction assignments "X[w] = f(Reduce(S))" where S
+// is ASV-annotated: the plane's lane-parallel partial sum accumulates into a
+// synthesized 32-bit sum array, and the output is recomputed from it each
+// pass (quality therefore improves in the per-pass steps the paper
+// describes for reduction kernels).
+func (t *swvRewriter) rewriteAssign(as Assign) ([]Stmt, error) {
+	red, found, err := findASVReduce(t.k, as.Value)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		// No vectorizable reduction: replicate verbatim (pure recompute).
+		return []Stmt{as}, nil
+	}
+	if as.Accumulate {
+		return nil, fmt.Errorf("compiler: swv: accumulate-assign reductions unsupported")
+	}
+	sumName, ok := t.sumArrays[as.Array]
+	if !ok {
+		outArr, _ := t.k.ArrayByName(as.Array)
+		sumName = "__sum_" + as.Array
+		t.k.Arrays = append(t.k.Arrays, Array{Name: sumName, ElemBits: 32, Len: outArr.Len})
+		t.sumArrays[as.Array] = sumName
+	}
+
+	ld := red.Body.(Load)
+	if ld.Index.Coeff[red.Var] != 1 {
+		return nil, fmt.Errorf("compiler: swv: reduction over %q must have unit stride", ld.Array)
+	}
+	lpw := t.lanesPerWord()
+	if red.N%lpw != 0 {
+		return nil, fmt.Errorf("compiler: swv: reduce trip %d not divisible by %d lanes", red.N, lpw)
+	}
+	start := Lin{Coeff: map[string]int64{}, Const: ld.Index.Const}
+	if start.Const%lpw != 0 {
+		return nil, fmt.Errorf("compiler: swv: reduction base offset not lane aligned")
+	}
+	start.Const /= lpw
+	for v, c := range ld.Index.Coeff {
+		if v == red.Var {
+			continue
+		}
+		if c%lpw != 0 {
+			return nil, fmt.Errorf("compiler: swv: index coefficient %d not divisible by %d", c, lpw)
+		}
+		start.Coeff[v] = c / lpw
+	}
+	numWords := red.N / lpw
+	chunk := int64(1)
+	if t.laneBits > t.bits {
+		chunk = 1 << (t.laneBits - t.bits)
+	}
+	if chunk > numWords {
+		chunk = numWords
+	}
+	for numWords%chunk != 0 {
+		chunk--
+	}
+
+	vr := VecReduce{
+		Array: ld.Array, Plane: t.plane(),
+		WordStart: start, NumWords: numWords, ChunkWords: chunk,
+		LaneBits: t.laneBits, Shift: t.bits * t.sub,
+	}
+	acc := Assign{Array: sumName, Index: as.Index, Value: vr, Accumulate: true}
+	final := Assign{
+		Array: as.Array, Index: as.Index,
+		Value: replaceReduce(as.Value, Load{Array: sumName, Index: as.Index}),
+	}
+	return []Stmt{acc, final}, nil
+}
+
+// findASVReduce locates the unique Reduce-over-ASV-load in an expression.
+func findASVReduce(k *Kernel, e Expr) (Reduce, bool, error) {
+	switch ex := e.(type) {
+	case Reduce:
+		ld, ok := ex.Body.(Load)
+		if !ok {
+			return Reduce{}, false, fmt.Errorf("compiler: swv: reduction body must be a plain load")
+		}
+		a, ok := k.ArrayByName(ld.Array)
+		if !ok || a.Pragma != PragmaASV {
+			return Reduce{}, false, nil
+		}
+		return ex, true, nil
+	case Bin:
+		ra, fa, err := findASVReduce(k, ex.A)
+		if err != nil {
+			return Reduce{}, false, err
+		}
+		rb, fb, err := findASVReduce(k, ex.B)
+		if err != nil {
+			return Reduce{}, false, err
+		}
+		if fa && fb {
+			return Reduce{}, false, fmt.Errorf("compiler: swv: multiple reductions in one assignment")
+		}
+		if fa {
+			return ra, true, nil
+		}
+		return rb, fb, nil
+	default:
+		return Reduce{}, false, nil
+	}
+}
+
+// replaceReduce substitutes the (unique) Reduce node with repl.
+func replaceReduce(e Expr, repl Expr) Expr {
+	switch ex := e.(type) {
+	case Reduce:
+		return repl
+	case Bin:
+		return Bin{Op: ex.Op, A: replaceReduce(ex.A, repl), B: replaceReduce(ex.B, repl)}
+	default:
+		return e
+	}
+}

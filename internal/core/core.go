@@ -1,0 +1,145 @@
+// Package core is the top-level façade of the What's Next reproduction: it
+// assembles a simulated energy-harvesting device (CPU, memory, supply,
+// forward-progress runtime) and runs compiled kernels on it, one input at a
+// time, the way the paper's harness drives its benchmarks.
+package core
+
+import (
+	"fmt"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/cpu"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/intermittent"
+	"whatsnext/internal/mem"
+)
+
+// Processor selects the forward-progress runtime.
+type Processor int
+
+const (
+	// ProcClank is the checkpoint-based volatile processor (Section V-B).
+	ProcClank Processor = iota
+	// ProcNVP is the backup-every-cycle non-volatile processor (V-C).
+	ProcNVP
+	// ProcUndoLog is a volatile processor using undo-log rollback instead
+	// of checkpoint-on-violation (an extension beyond the paper).
+	ProcUndoLog
+)
+
+func (p Processor) String() string {
+	switch p {
+	case ProcNVP:
+		return "nvp"
+	case ProcUndoLog:
+		return "undolog"
+	default:
+		return "clank"
+	}
+}
+
+// Config assembles a device.
+type Config struct {
+	Device      energy.DeviceConfig
+	Mem         mem.Config
+	Processor   Processor
+	Clank       intermittent.ClankConfig
+	NVP         intermittent.NVPConfig
+	UndoLog     intermittent.UndoLogConfig
+	Memoization bool // enable the 16-entry memo table + zero skipping
+}
+
+// DefaultConfig returns the paper-default device: 24 MHz M0+-class core,
+// 10 uF capacitor, Clank checkpointing, no memoization.
+func DefaultConfig() Config {
+	return Config{
+		Device:  energy.DefaultDeviceConfig(),
+		Mem:     mem.DefaultConfig(),
+		Clank:   intermittent.DefaultClankConfig(),
+		NVP:     intermittent.DefaultNVPConfig(),
+		UndoLog: intermittent.DefaultUndoLogConfig(),
+	}
+}
+
+// System is one simulated device with a loaded kernel.
+type System struct {
+	Config Config
+	CPU    *cpu.CPU
+	Mem    *mem.Memory
+	Supply *energy.Supply
+	Runner *intermittent.Runner
+	Policy intermittent.Policy
+
+	compiled *compiler.Compiled
+}
+
+// NewSystem builds a device powered by the given harvest trace.
+func NewSystem(cfg Config, trace *energy.Trace) *System {
+	m := mem.New(cfg.Mem)
+	c := cpu.New(m)
+	if cfg.Memoization {
+		c.Memo = cpu.NewMemoTable()
+	}
+	s := energy.NewSupply(cfg.Device, trace)
+	var p intermittent.Policy
+	switch cfg.Processor {
+	case ProcNVP:
+		p = intermittent.NewNVP(cfg.NVP)
+	case ProcUndoLog:
+		p = intermittent.NewUndoLog(cfg.UndoLog)
+	default:
+		p = intermittent.NewClank(cfg.Clank)
+	}
+	sys := &System{Config: cfg, CPU: c, Mem: m, Supply: s, Policy: p}
+	sys.Runner = intermittent.NewRunner(c, m, s, p)
+	return sys
+}
+
+// Load installs a compiled kernel's program image.
+func (s *System) Load(c *compiler.Compiled) error {
+	if err := s.Mem.LoadProgram(c.Program.Image); err != nil {
+		return err
+	}
+	s.CPU.InvalidateDecodeCache()
+	s.CPU.AmenablePCs = c.Program.AmenableSet()
+	s.compiled = c
+	return nil
+}
+
+// RunInput processes one input sample end to end: data memory is cleared,
+// inputs are installed in the kernel's layout, the core is reset, and the
+// program runs to HALT (riding through outages, honoring skim points).
+func (s *System) RunInput(inputs map[string][]int64) (intermittent.Result, error) {
+	if s.compiled == nil {
+		return intermittent.Result{}, fmt.Errorf("core: no kernel loaded")
+	}
+	s.Mem.ZeroData()
+	for name, vals := range inputs {
+		if err := s.compiled.Layout.Install(s.Mem, name, vals); err != nil {
+			return intermittent.Result{}, err
+		}
+	}
+	s.CPU.Reset()
+	s.CPU.DisarmSkim()
+	if s.CPU.Memo != nil {
+		s.CPU.Memo.Invalidate()
+	}
+	// Re-arm the policy for the new input (fresh checkpoint at entry).
+	s.Policy.Attach(s.Runner)
+	return s.Runner.RunToHalt()
+}
+
+// Output extracts the named output array in display-domain values.
+func (s *System) Output(name string) ([]float64, error) {
+	if s.compiled == nil {
+		return nil, fmt.Errorf("core: no kernel loaded")
+	}
+	return s.compiled.Layout.OutputValues(s.Mem, name)
+}
+
+// ContinuousTrace returns a trace with ample constant power: the device
+// never browns out, which is how the runtime-quality curves of Figure 9 are
+// collected.
+func ContinuousTrace() *energy.Trace {
+	return energy.ConstantTrace(1.0, 1000, 3600)
+}

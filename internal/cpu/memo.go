@@ -1,0 +1,103 @@
+// Package cpu implements a cycle-accurate simulator of the WN processor: an
+// ARM Cortex-M0+-profile core (2-stage pipeline cost model, iterative
+// 16-cycle multiplier, no caches or branch prediction) extended with the
+// What's Next anytime units — subword-pipelined multiplication, the
+// segmented-carry subword-vectorized adder, the non-volatile skim register,
+// and an optional multiplier memoization table with zero skipping.
+package cpu
+
+// MemoEntries is the default size of the direct-mapped multiplication memo
+// table. The paper empirically settles on 16 entries (Section V-E),
+// occupying 40.5% of the area of the 16x16 multiplier.
+const MemoEntries = 16
+
+// MemoTable is a direct-mapped lookup table that caches multiplication
+// results to shortcut the iterative multiplier. The index is formed from
+// the least significant bits of both operands; an entry hit returns the
+// product in a single cycle.
+//
+// Zero skipping is layered on top: a multiplication with a zero operand
+// returns zero in a single cycle and is excluded from the table, since
+// zeros dominate multiplication operands in these kernels.
+type MemoTable struct {
+	valid []bool
+	a     []uint32
+	b     []uint32
+	prod  []uint32
+	shift uint32 // index bits per operand
+
+	Hits      uint64
+	Misses    uint64
+	ZeroSkips uint64
+}
+
+// NewMemoTable returns an empty table at the paper's 16-entry capacity.
+func NewMemoTable() *MemoTable { return NewSizedMemoTable(MemoEntries) }
+
+// NewSizedMemoTable returns an empty table with the given power-of-four
+// entry count (the index concatenates an equal number of LSBs from each
+// operand). Non-conforming sizes are rounded up.
+func NewSizedMemoTable(entries int) *MemoTable {
+	shift := uint32(1)
+	for 1<<(2*shift) < entries {
+		shift++
+	}
+	n := 1 << (2 * shift)
+	return &MemoTable{
+		valid: make([]bool, n),
+		a:     make([]uint32, n),
+		b:     make([]uint32, n),
+		prod:  make([]uint32, n),
+		shift: shift,
+	}
+}
+
+// Entries returns the table capacity.
+func (t *MemoTable) Entries() int { return len(t.valid) }
+
+func (t *MemoTable) index(a, b uint32) int {
+	mask := uint32(1)<<t.shift - 1
+	return int((a&mask)<<t.shift | (b & mask))
+}
+
+// Lookup consults zero skipping and the table for the product a*b. When fast
+// is true the product was produced in a single cycle; otherwise the caller
+// must run the iterative multiplier and Insert the result.
+func (t *MemoTable) Lookup(a, b uint32) (prod uint32, fast bool) {
+	if a == 0 || b == 0 {
+		t.ZeroSkips++
+		return 0, true
+	}
+	i := t.index(a, b)
+	if t.valid[i] && t.a[i] == a && t.b[i] == b {
+		t.Hits++
+		return t.prod[i], true
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert stores a computed product. Zero-operand products are never
+// inserted; they are covered by zero skipping.
+func (t *MemoTable) Insert(a, b, prod uint32) {
+	if a == 0 || b == 0 {
+		return
+	}
+	i := t.index(a, b)
+	t.valid[i] = true
+	t.a[i], t.b[i], t.prod[i] = a, b, prod
+}
+
+// Reset invalidates all entries and clears statistics.
+func (t *MemoTable) Reset() {
+	t.Invalidate()
+	t.Hits, t.Misses, t.ZeroSkips = 0, 0, 0
+}
+
+// Invalidate clears entries but keeps statistics; the table is modeled as
+// volatile, so the runtimes invalidate it on every power outage.
+func (t *MemoTable) Invalidate() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}

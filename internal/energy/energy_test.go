@@ -1,0 +1,266 @@
+package energy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestDeviceConfigDerived(t *testing.T) {
+	d := DefaultDeviceConfig()
+	// Usable energy: 1/2 C (Von^2 - Voff^2).
+	want := 0.5 * d.CapacitanceF * (d.VOn*d.VOn - d.VOff*d.VOff)
+	if got := d.UsableEnergy(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("usable energy %g, want %g", got, want)
+	}
+	// A charge must sustain a millisecond-scale active period at 24 MHz —
+	// the operating point the paper describes.
+	cycles := d.CyclesPerCharge()
+	ms := 1e3 * float64(cycles) / d.ClockHz
+	if ms < 0.1 || ms > 10 {
+		t.Fatalf("active period %.3f ms is outside the paper's regime", ms)
+	}
+}
+
+func TestSupplyDrainAndOutage(t *testing.T) {
+	d := DefaultDeviceConfig()
+	s := NewSupply(d, ConstantTrace(0, 1000, 10)) // no harvest
+	if !s.Powered() {
+		t.Fatal("supply starts charged")
+	}
+	perCharge := d.CyclesPerCharge()
+	var spent uint64
+	for s.Spend(64, 0) {
+		spent += 64
+	}
+	spent += 64 // the failing call still consumed
+	if diff := math.Abs(float64(spent) - float64(perCharge)); diff > 128 {
+		t.Fatalf("drained after %d cycles, expected about %d", spent, perCharge)
+	}
+	if s.Powered() || s.Outages != 1 {
+		t.Fatal("brown-out should power down and count an outage")
+	}
+	// Without harvest the supply can never recover.
+	if _, ok := s.WaitForPower(); ok {
+		t.Fatal("zero-power trace cannot recharge")
+	}
+}
+
+func TestSupplyRecharge(t *testing.T) {
+	d := DefaultDeviceConfig()
+	s := NewSupply(d, ConstantTrace(5e-3, 1000, 100)) // 5 mW harvest
+	for s.Spend(64, 0) {
+	}
+	waited, ok := s.WaitForPower()
+	if !ok || waited == 0 {
+		t.Fatal("recharge failed")
+	}
+	if !s.Powered() {
+		t.Fatal("powered after recharge")
+	}
+	// Hysteresis: voltage must be back at VOn.
+	if v := s.Voltage(); v < d.VOn-0.01 {
+		t.Fatalf("voltage %.3f below V_on", v)
+	}
+	// Expected recharge time ~= usable energy / (harvest * efficiency).
+	sec := float64(waited) / d.ClockHz
+	want := d.UsableEnergy() / (5e-3 * d.HarvestEff)
+	if sec < want*0.8 || sec > want*1.3 {
+		t.Fatalf("recharge took %.4f s, expected about %.4f s", sec, want)
+	}
+}
+
+func TestSpendExtraEnergy(t *testing.T) {
+	d := DefaultDeviceConfig()
+	a := NewSupply(d, ConstantTrace(0, 1000, 10))
+	b := NewSupply(d, ConstantTrace(0, 1000, 10))
+	var ca, cb uint64
+	for a.Spend(64, 0) {
+		ca++
+	}
+	for b.Spend(64, float64(64)*d.EnergyPerCycle) { // double draw
+		cb++
+	}
+	if cb >= ca {
+		t.Fatalf("extra energy should drain faster: %d vs %d", cb, ca)
+	}
+}
+
+func TestForceOutage(t *testing.T) {
+	s := NewSupply(DefaultDeviceConfig(), ConstantTrace(1e-3, 1000, 10))
+	s.ForceOutage()
+	if s.Powered() || s.Outages != 1 {
+		t.Fatal("forced outage should power down")
+	}
+	s.ForceOutage() // idempotent while off
+	if s.Outages != 1 {
+		t.Fatal("forcing an outage while off should not double count")
+	}
+}
+
+func TestVoltageMonotoneWithEnergy(t *testing.T) {
+	s := NewSupply(DefaultDeviceConfig(), ConstantTrace(0, 1000, 10))
+	v0 := s.Voltage()
+	s.Spend(1000, 0)
+	if s.Voltage() >= v0 {
+		t.Fatal("voltage should fall as energy drains")
+	}
+}
+
+func TestSyntheticTraceDeterminism(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	a := SyntheticWiFiTrace(7, cfg)
+	b := SyntheticWiFiTrace(7, cfg)
+	c := SyntheticWiFiTrace(8, cfg)
+	if len(a.Power) != len(b.Power) {
+		t.Fatal("length mismatch")
+	}
+	same := true
+	diff := false
+	for i := range a.Power {
+		if a.Power[i] != b.Power[i] {
+			same = false
+		}
+		if a.Power[i] != c.Power[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must reproduce the same trace")
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSyntheticTraceStatistics(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	tr := SyntheticWiFiTrace(3, cfg)
+	if got := tr.Duration(); math.Abs(got-cfg.Seconds) > 1 {
+		t.Fatalf("duration %.1f", got)
+	}
+	mean := tr.MeanPower()
+	if mean <= cfg.BasePower {
+		t.Fatal("bursts should raise the mean above the floor")
+	}
+	if mean > cfg.BasePower+cfg.BurstPower {
+		t.Fatal("mean power implausibly high")
+	}
+	for i, p := range tr.Power {
+		if p < 0 {
+			t.Fatalf("negative power at %d", i)
+		}
+	}
+}
+
+func TestTraceWrapAround(t *testing.T) {
+	d := DefaultDeviceConfig()
+	// A very short trace: the supply must wrap and keep harvesting.
+	s := NewSupply(d, ConstantTrace(5e-3, 1000, 0.01))
+	for i := 0; i < 3; i++ {
+		for s.Spend(64, 0) {
+		}
+		if _, ok := s.WaitForPower(); !ok {
+			t.Fatal("wrap-around recharge failed")
+		}
+	}
+	if s.Outages != 3 {
+		t.Fatalf("outages = %d", s.Outages)
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := SyntheticWiFiTrace(5, TraceConfig{
+		SampleHz: 1000, Seconds: 0.25, BasePower: 1e-4,
+		BurstPower: 1e-3, BurstProb: 0.1, BurstLen: 4, Jitter: 0.3,
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.SampleHz-tr.SampleHz) > 1 {
+		t.Fatalf("sample rate %.1f", got.SampleHz)
+	}
+	if len(got.Power) != len(tr.Power) {
+		t.Fatalf("length %d vs %d", len(got.Power), len(tr.Power))
+	}
+	for i := range tr.Power {
+		if math.Abs(got.Power[i]-tr.Power[i]) > 1e-12 {
+			t.Fatalf("sample %d: %g vs %g", i, got.Power[i], tr.Power[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time_s,power_w\n0,1\n",              // too short
+		"time_s,power_w\nx,1\n0.001,1\n",     // bad timestamp
+		"time_s,power_w\n0,x\n0.001,1\n",     // bad power
+		"time_s,power_w\n0.002,1\n0.001,1\n", // non-increasing
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(src)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", src)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := NewSupply(DefaultDeviceConfig(), ConstantTrace(1e-3, 1000, 10))
+	t0 := s.Now()
+	s.Spend(24000, 0) // 1 ms at 24 MHz
+	if dt := s.Now() - t0; math.Abs(dt-0.001) > 1e-6 {
+		t.Fatalf("time advanced %.6f s, want 0.001", dt)
+	}
+}
+
+func TestSourceGenerators(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	for _, kind := range Sources() {
+		tr := TraceFor(kind, 3, cfg)
+		if len(tr.Power) != int(cfg.SampleHz*cfg.Seconds) {
+			t.Errorf("%s: wrong length", kind)
+		}
+		for i, p := range tr.Power {
+			if p < 0 {
+				t.Fatalf("%s: negative power at %d", kind, i)
+			}
+		}
+		if tr.MeanPower() <= 0 {
+			t.Errorf("%s: zero mean power", kind)
+		}
+		// Determinism per seed.
+		tr2 := TraceFor(kind, 3, cfg)
+		for i := range tr.Power {
+			if tr.Power[i] != tr2.Power[i] {
+				t.Fatalf("%s: non-deterministic", kind)
+			}
+		}
+	}
+}
+
+// TestSourceCharacters verifies each environment's signature shape:
+// thermal is the steadiest, motion the burstiest.
+func TestSourceCharacters(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cv := func(tr *Trace) float64 { // coefficient of variation
+		mean := tr.MeanPower()
+		var sq float64
+		for _, p := range tr.Power {
+			d := p - mean
+			sq += d * d
+		}
+		return (sq / float64(len(tr.Power))) / (mean * mean)
+	}
+	thermal := cv(SyntheticThermalTrace(1, cfg))
+	solar := cv(SyntheticSolarTrace(1, cfg))
+	motion := cv(SyntheticMotionTrace(1, cfg))
+	if !(thermal < solar && solar < motion) {
+		t.Fatalf("variance ordering wrong: thermal %.3f solar %.3f motion %.3f", thermal, solar, motion)
+	}
+}

@@ -1,0 +1,179 @@
+package energy
+
+import "math"
+
+// DeviceConfig describes the electrical parameters of the simulated device.
+type DeviceConfig struct {
+	ClockHz        float64 // processor clock; the paper runs the M0+ at 24 MHz
+	CapacitanceF   float64 // storage capacitor; 10 uF in the paper
+	VMax           float64 // capacitor ceiling (harvester clamp)
+	VOn            float64 // turn-on threshold (hysteresis upper bound)
+	VOff           float64 // brown-out threshold
+	EnergyPerCycle float64 // joules per processor cycle (constant, per paper)
+	NVWriteEnergy  float64 // extra joules per non-volatile data write
+	HarvestEff     float64 // harvester conversion efficiency in (0,1]
+}
+
+// DefaultDeviceConfig returns the parameters used throughout the
+// reproduction: 24 MHz clock, 10 uF capacitor with a 1.8-3.0 V operating
+// window and 2 nJ/cycle (MSP430/M0+-class energy at 3 V including the NV
+// memory system), which yields roughly 19k cycles (about 0.8 ms) per full
+// charge — the paper's millisecond-scale active periods.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{
+		ClockHz:        24e6,
+		CapacitanceF:   10e-6,
+		VMax:           3.3,
+		VOn:            3.0,
+		VOff:           1.8,
+		EnergyPerCycle: 2e-9,
+		NVWriteEnergy:  500e-12,
+		HarvestEff:     0.7,
+	}
+}
+
+// UsableEnergy returns the joules available between VOn and VOff.
+func (c DeviceConfig) UsableEnergy() float64 {
+	return 0.5 * c.CapacitanceF * (c.VOn*c.VOn - c.VOff*c.VOff)
+}
+
+// CyclesPerCharge estimates how many cycles a full charge sustains with no
+// concurrent harvesting.
+func (c DeviceConfig) CyclesPerCharge() uint64 {
+	return uint64(c.UsableEnergy() / c.EnergyPerCycle)
+}
+
+// Supply combines a harvest trace with a capacitor and exposes the
+// charge/discharge process at cycle granularity to the intermittent
+// runtimes.
+type Supply struct {
+	cfg   DeviceConfig
+	trace *Trace
+
+	energy   float64 // joules currently stored
+	maxE     float64
+	onE      float64 // stored energy at VOn
+	offE     float64 // stored energy at VOff
+	powered  bool
+	cycleSec float64 // seconds per cycle
+
+	// Totals.
+	CyclesOn      uint64 // cycles executed while powered
+	CyclesOff     uint64 // cycles spent waiting for charge
+	Outages       uint64 // number of brown-outs observed
+	EnergyDrawn   float64
+	EnergyCharged float64
+}
+
+// NewSupply builds a supply from a device config and a harvest trace. The
+// capacitor starts full so the first active period begins at cycle zero.
+func NewSupply(cfg DeviceConfig, trace *Trace) *Supply {
+	s := &Supply{
+		cfg:      cfg,
+		trace:    trace,
+		maxE:     0.5 * cfg.CapacitanceF * cfg.VMax * cfg.VMax,
+		onE:      0.5 * cfg.CapacitanceF * cfg.VOn * cfg.VOn,
+		offE:     0.5 * cfg.CapacitanceF * cfg.VOff * cfg.VOff,
+		cycleSec: 1 / cfg.ClockHz,
+	}
+	s.energy = s.onE
+	s.powered = true
+	return s
+}
+
+// Config returns the device parameters.
+func (s *Supply) Config() DeviceConfig { return s.cfg }
+
+// Voltage returns the current capacitor voltage.
+func (s *Supply) Voltage() float64 {
+	return math.Sqrt(2 * s.energy / s.cfg.CapacitanceF)
+}
+
+// Powered reports whether the device is currently on.
+func (s *Supply) Powered() bool { return s.powered }
+
+// Now returns the simulated time in seconds.
+func (s *Supply) Now() float64 {
+	return float64(s.CyclesOn+s.CyclesOff) * s.cycleSec
+}
+
+// TotalCycles returns elapsed wall-clock time in cycle units (on + off).
+func (s *Supply) TotalCycles() uint64 { return s.CyclesOn + s.CyclesOff }
+
+// harvestPower returns the harvested power at the current simulated time,
+// wrapping the trace.
+func (s *Supply) harvestPower() float64 {
+	if s.trace == nil || len(s.trace.Power) == 0 {
+		return 0
+	}
+	idx := uint64(s.Now() * s.trace.SampleHz)
+	return s.trace.Power[idx%uint64(len(s.trace.Power))] * s.cfg.HarvestEff
+}
+
+// charge adds harvested energy for n cycles of elapsed time.
+func (s *Supply) charge(n uint64) {
+	in := s.harvestPower() * float64(n) * s.cycleSec
+	s.EnergyCharged += in
+	s.energy = math.Min(s.maxE, s.energy+in)
+}
+
+// Spend advances simulated time by cycles of execution, drawing
+// cycles*EnergyPerCycle+extra joules while also harvesting. It returns false
+// when the capacitor crosses VOff: the device browns out and the caller must
+// WaitForPower before executing again.
+func (s *Supply) Spend(cycles uint32, extra float64) bool {
+	if !s.powered {
+		return false
+	}
+	s.charge(uint64(cycles))
+	draw := float64(cycles)*s.cfg.EnergyPerCycle + extra
+	s.EnergyDrawn += draw
+	s.energy -= draw
+	s.CyclesOn += uint64(cycles)
+	if s.energy <= s.offE {
+		s.energy = math.Max(s.energy, 0)
+		s.powered = false
+		s.Outages++
+		return false
+	}
+	return true
+}
+
+// WaitForPower advances simulated time until the capacitor recharges to VOn,
+// returning the number of cycles spent off. With a zero-power trace it gives
+// up after the equivalent of ten trace durations and returns false.
+func (s *Supply) WaitForPower() (waited uint64, ok bool) {
+	if s.powered {
+		return 0, true
+	}
+	// Step at one trace-sample granularity for fidelity to the 1 kHz trace.
+	step := uint64(s.cfg.ClockHz / s.trace.SampleHz)
+	if step == 0 {
+		step = 1
+	}
+	var limit uint64 = math.MaxUint64
+	if s.trace != nil && len(s.trace.Power) > 0 {
+		limit = uint64(10*s.trace.Duration()*s.cfg.ClockHz) + s.TotalCycles()
+	}
+	for s.energy < s.onE {
+		s.charge(step)
+		s.CyclesOff += step
+		waited += step
+		if s.TotalCycles() > limit {
+			return waited, false
+		}
+	}
+	s.powered = true
+	return waited, true
+}
+
+// ForceOutage models an externally induced brown-out (used in failure
+// injection tests): the capacitor is drained to VOff.
+func (s *Supply) ForceOutage() {
+	if !s.powered {
+		return
+	}
+	s.energy = s.offE
+	s.powered = false
+	s.Outages++
+}

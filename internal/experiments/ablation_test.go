@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblSkim(t *testing.T) {
+	rows, err := SkimAblation(DefaultProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintSkimAblation(os.Stdout, rows)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithSkim <= r.WithoutSkim {
+			t.Errorf("%s: skim points are the mechanism (%.2fx with vs %.2fx without)",
+				r.Benchmark, r.WithSkim, r.WithoutSkim)
+		}
+		if r.WithoutSkim > 1.3 {
+			t.Errorf("%s: without skim the anytime passes are overhead, got %.2fx", r.Benchmark, r.WithoutSkim)
+		}
+	}
+}
+
+func TestAblWatchdog(t *testing.T) {
+	rows, err := WatchdogSweep(DefaultProtocol(), []uint64{1024, 8192, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintWatchdogSweep(os.Stdout, rows)
+	if rows[0].Checkpoints <= rows[1].Checkpoints {
+		t.Error("smaller watchdog should checkpoint more")
+	}
+	if !rows[2].Livelocked {
+		t.Error("a watchdog beyond one charge must livelock violation-free code")
+	}
+	if rows[0].Livelocked || rows[1].Livelocked {
+		t.Error("sane intervals must complete")
+	}
+}
+
+func TestAblCap(t *testing.T) {
+	rows, err := CapacitorSweep(DefaultProtocol(), []float64{2, 10, 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintCapacitorSweep(os.Stdout, rows)
+	if !rows[0].Livelocked {
+		t.Error("2 uF cannot hold a checkpoint interval and must livelock")
+	}
+	if rows[1].Livelocked || rows[2].Livelocked {
+		t.Error("10/47 uF must complete")
+	}
+	if rows[1].WNSpeedup <= rows[2].WNSpeedup {
+		t.Errorf("shorter actives should amplify WN: 10uF %.2fx vs 47uF %.2fx",
+			rows[1].WNSpeedup, rows[2].WNSpeedup)
+	}
+}
+
+func TestAblMemo(t *testing.T) {
+	rows, err := MemoEntriesSweep(DefaultProtocol(), []int{4, 16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintMemoEntriesSweep(os.Stdout, rows)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HitRate+0.02 < rows[i-1].HitRate {
+			t.Errorf("hit rate should not collapse with more entries: %+v", rows)
+		}
+	}
+	// The paper's 16-entry sweet spot: gains beyond it are modest.
+	if rows[3].Speedup > rows[1].Speedup*1.15 {
+		t.Errorf("256 entries should only give modest gains over 16: %.2fx vs %.2fx",
+			rows[3].Speedup, rows[1].Speedup)
+	}
+}
+
+func TestAblConsistency(t *testing.T) {
+	rows, err := ConsistencySweep(DefaultProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintConsistencySweep(os.Stdout, rows)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.WNSpeedup <= 1 {
+			t.Errorf("%s/%s: WN should win under both mechanisms, got %.2fx", r.Benchmark, r.Mechanism, r.WNSpeedup)
+		}
+		if r.Checkpoints == 0 {
+			t.Errorf("%s/%s: no checkpoints recorded", r.Benchmark, r.Mechanism)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestDesignSpaceSmoke(t *testing.T) {
+	proto := DefaultProtocol()
+	if rows, err := Figure12(proto); err != nil {
+		t.Fatal(err)
+	} else {
+		PrintFigure12(os.Stdout, rows)
+	}
+	if rows, err := Figure13(proto); err != nil {
+		t.Fatal(err)
+	} else {
+		PrintFigure13(os.Stdout, rows)
+	}
+	if prov, unprov, err := Figure14(proto, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		last := func(c QualityCurve) float64 { return c.Points[len(c.Points)-1].NRMSE }
+		t.Logf("fig14 provisioned final %.4f%%, unprovisioned final %.4f%%", last(prov), last(unprov))
+		if last(prov) != 0 || last(unprov) <= 0 {
+			t.Errorf("provisioning study wrong shape")
+		}
+	}
+	if rows, err := Figure15(proto); err != nil {
+		t.Fatal(err)
+	} else {
+		PrintFigure15(os.Stdout, rows)
+	}
+	if r, err := Figure2(proto, ""); err != nil {
+		t.Fatal(err)
+	} else {
+		PrintFigure2(os.Stdout, r)
+	}
+	if pts, avg, err := Figure17(proto); err != nil {
+		t.Fatal(err)
+	} else {
+		t.Logf("fig17: %d sets, avg WN err %.2f%%", len(pts), avg)
+	}
+	if r, err := Figure3(7); err != nil {
+		t.Fatal(err)
+	} else {
+		t.Logf("fig3: sampled %d/%d missedDip=%v; anytime caughtAll=%v err=%.2f%%",
+			r.SampledProcessed, len(r.Readings), r.SampledMissedDip, r.AnytimeCaughtAll, r.AnytimeAvgErrPct)
+	}
+}

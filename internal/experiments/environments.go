@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/core"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/quality"
+	"whatsnext/internal/workloads"
+)
+
+// EnvironmentRow reports WN behaviour under one harvest environment.
+type EnvironmentRow struct {
+	Source      energy.SourceKind
+	MeanPowerUW float64
+	DutyPct     float64 // active fraction for the precise run
+	Speedup     float64 // 4-bit WN vs precise on Clank
+	NRMSE       float64
+	Outages     uint64
+}
+
+// EnvironmentStudy is an extension experiment: the same kernel (Var, 4-bit
+// SWP) across the harvest environments energy-harvesting deployments use —
+// bursty Wi-Fi RF, smooth solar, steady thermal, spiky motion. Skim points
+// matter most where outages are frequent and unpredictable.
+func EnvironmentStudy(proto Protocol) ([]EnvironmentRow, error) {
+	b := workloads.Var()
+	p := proto.params(b)
+	in := b.Inputs(p, 1)
+	golden := b.Golden(p, in)
+	precise, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return nil, err
+	}
+	wn, err := WNVariant(b, p, 4).Compile()
+	if err != nil {
+		return nil, err
+	}
+	var rows []EnvironmentRow
+	for _, src := range energy.Sources() {
+		trace := energy.TraceFor(src, 9, energy.DefaultTraceConfig())
+		row := EnvironmentRow{Source: src, MeanPowerUW: 1e6 * trace.MeanPower()}
+
+		runOne := func(c *compiler.Compiled) (uint64, []float64, uint64, float64, error) {
+			sys := core.NewSystem(core.DefaultConfig(), trace)
+			if err := sys.Load(c); err != nil {
+				return 0, nil, 0, 0, err
+			}
+			sys.Runner.MaxCycles = livelockBudget
+			res, err := sys.RunInput(in)
+			if err != nil {
+				return 0, nil, 0, 0, err
+			}
+			out, err := sys.Output(b.Output)
+			duty := 100 * float64(res.CyclesOn) / float64(res.TotalCycles())
+			return res.TotalCycles(), out, res.Outages, duty, err
+		}
+		pc, _, _, duty, err := runOne(precise)
+		if err != nil {
+			return nil, err
+		}
+		wc, wout, outages, _, err := runOne(wn)
+		if err != nil {
+			return nil, err
+		}
+		row.DutyPct = duty
+		row.Speedup = float64(pc) / float64(wc)
+		row.NRMSE = quality.NRMSE(wout, golden)
+		row.Outages = outages
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintEnvironments renders the study.
+func PrintEnvironments(w io.Writer, rows []EnvironmentRow) {
+	fmt.Fprintf(w, "Extension: harvest environments (Var, 4-bit WN vs precise on Clank)\n")
+	fmt.Fprintf(w, "%-9s %12s %9s %10s %10s %9s\n", "source", "mean uW", "duty %", "speedup", "NRMSE %", "outages")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %12.1f %9.2f %9.2fx %10.3f %9d\n",
+			r.Source, r.MeanPowerUW, r.DutyPct, r.Speedup, r.NRMSE, r.Outages)
+	}
+}

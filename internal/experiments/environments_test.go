@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestEnvironmentStudy(t *testing.T) {
+	rows, err := EnvironmentStudy(DefaultProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintEnvironments(os.Stdout, rows)
+	if len(rows) != 4 {
+		t.Fatalf("%d environments", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0.5 {
+			t.Errorf("%s: speedup %.2f implausible", r.Source, r.Speedup)
+		}
+		if r.NRMSE < 0 || r.NRMSE > 15 {
+			t.Errorf("%s: NRMSE %.2f implausible", r.Source, r.NRMSE)
+		}
+	}
+}

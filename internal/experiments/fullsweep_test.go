@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"whatsnext/internal/core"
+)
+
+// TestSpeedupSweep prints the full Figure 10/11 tables under the default
+// protocol. Run with -run SpeedupSweep -v to inspect shapes.
+func TestSpeedupSweep(t *testing.T) {
+	if os.Getenv("WN_SWEEP") == "" {
+		t.Skip("set WN_SWEEP=1 to run the full sweep")
+	}
+	for _, proc := range []core.Processor{core.ProcClank, core.ProcNVP} {
+		rows, err := SpeedupStudy(proc, DefaultProtocol())
+		if err != nil {
+			t.Fatal(err)
+		}
+		PrintSpeedup(os.Stdout, "Speedup on "+proc.String(), rows)
+	}
+}

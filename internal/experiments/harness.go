@@ -1,0 +1,180 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V): the runtime-quality curves, the intermittent
+// speedup studies on both processor types, the design-exploration case
+// studies, and the motivating examples of Section II. Each experiment
+// returns structured results that cmd/wnbench prints in the paper's layout
+// and bench_test.go exercises as Go benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/core"
+	"whatsnext/internal/cpu"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/mem"
+	"whatsnext/internal/quality"
+	"whatsnext/internal/workloads"
+)
+
+// Protocol controls experiment effort. The paper invokes each application
+// 3 times on 9 distinct voltage traces and reports medians; the default
+// here is a lighter 1x3 protocol so the whole suite runs in seconds, with
+// Full() restoring the paper's protocol.
+type Protocol struct {
+	Traces      int  // distinct harvest-trace seeds
+	Invocations int  // input seeds per trace
+	PaperScale  bool // paper-size inputs instead of scaled ones
+}
+
+// DefaultProtocol returns the fast protocol used by tests and benches.
+func DefaultProtocol() Protocol { return Protocol{Traces: 3, Invocations: 1} }
+
+// FullProtocol returns the paper's 3x9 protocol at paper input sizes.
+func FullProtocol() Protocol { return Protocol{Traces: 9, Invocations: 3, PaperScale: true} }
+
+func (p Protocol) params(b *workloads.Benchmark) workloads.Params {
+	if p.PaperScale {
+		return b.DefaultParams()
+	}
+	return b.ScaledParams()
+}
+
+// Variant names one compiled configuration of a benchmark.
+type Variant struct {
+	Bench       *workloads.Benchmark
+	Params      workloads.Params
+	Mode        compiler.Mode
+	Bits        int
+	Provisioned bool
+	VectorLoads bool
+}
+
+// WNVariant returns the benchmark's anytime configuration at a subword
+// size, using provisioned addition (the paper's SWV default).
+func WNVariant(b *workloads.Benchmark, p workloads.Params, bits int) Variant {
+	return Variant{Bench: b, Params: p, Mode: b.Mode, Bits: bits, Provisioned: true}
+}
+
+// PreciseVariant returns the conventional full-precision configuration.
+func PreciseVariant(b *workloads.Benchmark, p workloads.Params) Variant {
+	return Variant{Bench: b, Params: p, Mode: compiler.ModePrecise, Bits: 8}
+}
+
+// Compile lowers the variant.
+func (v Variant) Compile() (*compiler.Compiled, error) {
+	k := v.Bench.Build(v.Params, v.Bits, v.Provisioned)
+	return compiler.Compile(k, compiler.Options{
+		Mode:        v.Mode,
+		VectorLoads: v.VectorLoads,
+	})
+}
+
+func (v Variant) String() string {
+	if v.Mode == compiler.ModePrecise {
+		return v.Bench.Name + "/precise"
+	}
+	s := fmt.Sprintf("%s/%s%d", v.Bench.Name, v.Mode, v.Bits)
+	if v.VectorLoads {
+		s += "+vloads"
+	}
+	return s
+}
+
+// bareDevice builds a CPU+memory with the program and inputs installed,
+// without a power supply — for continuous-power runs driven cycle by cycle.
+func bareDevice(c *compiler.Compiled, inputs map[string][]int64, memo bool) (*cpu.CPU, *mem.Memory, error) {
+	m := mem.New(mem.DefaultConfig())
+	if err := m.LoadProgram(c.Program.Image); err != nil {
+		return nil, nil, err
+	}
+	for name, vals := range inputs {
+		if err := c.Layout.Install(m, name, vals); err != nil {
+			return nil, nil, err
+		}
+	}
+	cp := cpu.New(m)
+	if memo {
+		cp.Memo = cpu.NewMemoTable()
+	}
+	return cp, m, nil
+}
+
+// contOptions controls a continuous (always-powered) run.
+type contOptions struct {
+	memo        bool
+	stopAtSkim  bool   // stop when the first skim point arms
+	cycleBudget uint64 // stop after this many cycles (0 = none)
+	sampleEvery uint64 // invoke sample() at this cycle period (0 = never)
+	sample      func(cycles uint64, m *mem.Memory)
+}
+
+// contResult is the outcome of a continuous run.
+type contResult struct {
+	Cycles       uint64
+	Instructions uint64
+	Halted       bool
+	SkimArmed    bool
+}
+
+// runContinuous executes the program under uninterrupted power.
+func runContinuous(c *compiler.Compiled, inputs map[string][]int64, opt contOptions) (contResult, *mem.Memory, error) {
+	cp, m, err := bareDevice(c, inputs, opt.memo)
+	if err != nil {
+		return contResult{}, nil, err
+	}
+	var cycles, instrs uint64
+	nextSample := opt.sampleEvery
+	for !cp.Halted {
+		cost, err := cp.Step()
+		if err != nil {
+			return contResult{}, nil, fmt.Errorf("experiments: %s fault: %w", c.Kernel.Name, err)
+		}
+		cycles += uint64(cost.Cycles)
+		instrs++
+		if opt.sampleEvery != 0 && cycles >= nextSample {
+			opt.sample(cycles, m)
+			nextSample += opt.sampleEvery
+		}
+		if opt.stopAtSkim && cp.SkimArmed {
+			break
+		}
+		if opt.cycleBudget != 0 && cycles >= opt.cycleBudget {
+			break
+		}
+	}
+	return contResult{Cycles: cycles, Instructions: instrs, Halted: cp.Halted, SkimArmed: cp.SkimArmed}, m, nil
+}
+
+// outputNRMSE scores the current output of a memory against golden values.
+func outputNRMSE(c *compiler.Compiled, m *mem.Memory, output string, golden []float64) (float64, error) {
+	got, err := c.Layout.OutputValues(m, output)
+	if err != nil {
+		return 0, err
+	}
+	return quality.NRMSE(got, golden), nil
+}
+
+// preciseCycles measures the baseline full-precision runtime in cycles.
+func preciseCycles(b *workloads.Benchmark, p workloads.Params, seed int64) (uint64, error) {
+	c, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return 0, err
+	}
+	res, _, err := runContinuous(c, b.Inputs(p, seed), contOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// intermittentSystem builds a powered device on a seeded synthetic Wi-Fi
+// trace for the given processor kind.
+func intermittentSystem(proc core.Processor, traceSeed int64, memo bool) *core.System {
+	cfg := core.DefaultConfig()
+	cfg.Processor = proc
+	cfg.Memoization = memo
+	trace := energy.SyntheticWiFiTrace(traceSeed, energy.DefaultTraceConfig())
+	return core.NewSystem(cfg, trace)
+}

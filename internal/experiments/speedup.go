@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"whatsnext/internal/core"
+	"whatsnext/internal/quality"
+	"whatsnext/internal/workloads"
+)
+
+// SpeedupRow is one bar pair of Figures 10 and 11: a benchmark's speedup
+// and output error at a subword size on a processor type.
+type SpeedupRow struct {
+	Benchmark string
+	Bits      int
+	Speedup   float64 // median over (trace, invocation) samples
+	NRMSE     float64 // median output error of the WN runs
+	Samples   int
+}
+
+// SpeedupStudy reproduces Figure 10 (ProcClank) or Figure 11 (ProcNVP):
+// each benchmark processes inputs under harvested power on 'proto.Traces'
+// distinct synthetic Wi-Fi traces with 'proto.Invocations' input seeds.
+// The WN build takes its result as-is at the first outage past a skim
+// point; the precise build must resume across outages until exact
+// completion. Speedup compares wall-clock completion times per input.
+func SpeedupStudy(proc core.Processor, proto Protocol) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, b := range workloads.All() {
+		p := proto.params(b)
+		for _, bits := range []int{8, 4} {
+			row, err := speedupOne(proc, b, p, bits, proto)
+			if err != nil {
+				return nil, fmt.Errorf("speedup %s/%d-bit on %s: %w", b.Name, bits, proc, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func speedupOne(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) (SpeedupRow, error) {
+	wn, err := WNVariant(b, p, bits).Compile()
+	if err != nil {
+		return SpeedupRow{}, err
+	}
+	precise, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return SpeedupRow{}, err
+	}
+	var speedups, errors []float64
+	for t := 0; t < proto.Traces; t++ {
+		traceSeed := int64(1000 + 17*t)
+		for inv := 0; inv < proto.Invocations; inv++ {
+			inputSeed := int64(1 + inv)
+			in := b.Inputs(p, inputSeed)
+			golden := b.Golden(p, in)
+
+			wnSys := intermittentSystem(proc, traceSeed, false)
+			if err := wnSys.Load(wn); err != nil {
+				return SpeedupRow{}, err
+			}
+			wnRes, err := wnSys.RunInput(in)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+			wnOut, err := wnSys.Output(b.Output)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+
+			prSys := intermittentSystem(proc, traceSeed, false)
+			if err := prSys.Load(precise); err != nil {
+				return SpeedupRow{}, err
+			}
+			prRes, err := prSys.RunInput(in)
+			if err != nil {
+				return SpeedupRow{}, err
+			}
+
+			speedups = append(speedups, float64(prRes.TotalCycles())/float64(wnRes.TotalCycles()))
+			errors = append(errors, quality.NRMSE(wnOut, golden))
+		}
+	}
+	return SpeedupRow{
+		Benchmark: b.Name,
+		Bits:      bits,
+		Speedup:   quality.Median(speedups),
+		NRMSE:     quality.Median(errors),
+		Samples:   len(speedups),
+	}, nil
+}
+
+// SpeedupSummary averages the per-benchmark rows for one subword size, as
+// quoted in the paper's abstract (e.g. 1.78x/3.02x on Clank).
+func SpeedupSummary(rows []SpeedupRow, bits int) (speedup, nrmse float64) {
+	var sp, er []float64
+	for _, r := range rows {
+		if r.Bits == bits {
+			sp = append(sp, r.Speedup)
+			er = append(er, r.NRMSE)
+		}
+	}
+	return quality.GeoMean(sp), quality.Mean(er)
+}
+
+// PrintSpeedup renders a Figure 10/11-style table.
+func PrintSpeedup(w io.Writer, title string, rows []SpeedupRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %6s %10s %10s %8s\n", "Benchmark", "Bits", "Speedup", "NRMSE %", "Samples")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %9.2fx %10.3f %8d\n", r.Benchmark, r.Bits, r.Speedup, r.NRMSE, r.Samples)
+	}
+	for _, bits := range []int{8, 4} {
+		sp, er := SpeedupSummary(rows, bits)
+		fmt.Fprintf(w, "average (%d-bit): %.2fx speedup, %.2f%% NRMSE\n", bits, sp, er)
+	}
+}

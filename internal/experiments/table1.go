@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/workloads"
+)
+
+// Table1Row characterizes one benchmark like Table I of the paper: the
+// fraction of dynamic instructions amenable to WN and the full-precision
+// runtime at 24 MHz.
+type Table1Row struct {
+	Benchmark   string
+	Area        string
+	Technique   string // SWP or SWV
+	AmenablePct float64
+	Cycles      uint64
+	RuntimeMs   float64
+}
+
+// Table1 measures every benchmark's precise build. Amenable instructions
+// are those the compiler marked as targets for subword pipelining or
+// vectorization.
+func Table1(proto Protocol) ([]Table1Row, error) {
+	clk := energy.DefaultDeviceConfig().ClockHz
+	var rows []Table1Row
+	for _, b := range workloads.All() {
+		p := proto.params(b)
+		c, err := PreciseVariant(b, p).Compile()
+		if err != nil {
+			return nil, err
+		}
+		in := b.Inputs(p, 1)
+		cp, m, err := bareDevice(c, in, false)
+		if err != nil {
+			return nil, err
+		}
+		_ = m
+		cp.AmenablePCs = c.Program.AmenableSet()
+		var cycles uint64
+		for !cp.Halted {
+			cost, err := cp.Step()
+			if err != nil {
+				return nil, fmt.Errorf("table 1 %s: %w", b.Name, err)
+			}
+			cycles += uint64(cost.Cycles)
+		}
+		tech := "SWV"
+		if b.Mode == compiler.ModeSWP {
+			tech = "SWP"
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:   b.Name,
+			Area:        b.Area,
+			Technique:   tech,
+			AmenablePct: 100 * float64(cp.Stats.AmenableOps) / float64(cp.Stats.Instructions),
+			Cycles:      cycles,
+			RuntimeMs:   1000 * float64(cycles) / clk,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows in the paper's column order.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table I: benchmark characteristics\n")
+	fmt.Fprintf(w, "%-10s %-22s %-5s %10s %12s %14s\n",
+		"Benchmark", "Area", "Tech", "Insn %", "Cycles", "Runtime (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-22s %-5s %9.2f%% %12d %14.2f\n",
+			r.Benchmark, r.Area, r.Technique, r.AmenablePct, r.Cycles, r.RuntimeMs)
+	}
+}

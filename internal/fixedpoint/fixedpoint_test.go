@@ -1,0 +1,167 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whatsnext/internal/quality"
+	"whatsnext/internal/workloads"
+)
+
+func TestFormatBasics(t *testing.T) {
+	if U8x8.Bits() != 16 || U8x8.One() != 256 {
+		t.Fatal("UQ8.8 geometry")
+	}
+	if U8x8.String() != "UQ8.8" {
+		t.Fatalf("name %q", U8x8.String())
+	}
+	sq := Q{IntBits: 3, FracBits: 4, Signed: true}
+	if sq.Bits() != 8 || sq.String() != "Q3.4" {
+		t.Fatalf("signed geometry: %d %s", sq.Bits(), sq.String())
+	}
+	if sq.Min() >= 0 {
+		t.Fatal("signed formats have a negative range")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := U8x8.ToFloat(int64(raw))
+		return U8x8.FromFloat(v) == int64(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	if got := U8x8.FromFloat(1e9); got != int64(1)<<16-1 {
+		t.Fatalf("positive saturation: %d", got)
+	}
+	if got := U8x8.FromFloat(-5); got != 0 {
+		t.Fatalf("unsigned negative saturation: %d", got)
+	}
+	sq := Q{IntBits: 3, FracBits: 4, Signed: true}
+	if got := sq.FromFloat(-1e9); got != -(1 << 7) {
+		t.Fatalf("signed saturation: %d", got)
+	}
+}
+
+func TestQuantizationErrorBound(t *testing.T) {
+	// Any value of at least 1.0 quantizes in UQ8.8 with relative error
+	// below 2^-9/1 < 0.2%.
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = 1 + rng.Float64()*254
+	}
+	if worst := MaxRelativeError(U8x8, vs); worst > 0.2 {
+		t.Fatalf("worst quantization error %.4f%%", worst)
+	}
+}
+
+func TestMulTruncates(t *testing.T) {
+	a := U8x8.FromFloat(1.5)
+	b := U8x8.FromFloat(2.25)
+	if got := U8x8.ToFloat(U8x8.Mul(a, b)); math.Abs(got-3.375) > 1.0/256 {
+		t.Fatalf("1.5*2.25 = %v", got)
+	}
+}
+
+func TestNormalizeWeights(t *testing.T) {
+	ws := []float64{1, 2, 3, 4, 6, 4, 3, 2, 1}
+	out, err := NormalizeWeights(ws, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, w := range out {
+		if w < 1 {
+			t.Fatal("weights must stay positive")
+		}
+		sum += w
+	}
+	if sum != 256 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if _, err := NormalizeWeights([]float64{-1, 2}, 8); err == nil {
+		t.Fatal("negative weights rejected")
+	}
+	if _, err := NormalizeWeights([]float64{0, 0}, 8); err == nil {
+		t.Fatal("zero sum rejected")
+	}
+}
+
+// TestConv2dFixedPointFidelity reproduces the paper's conversion claim for
+// the image kernel: the integer fixed-point Conv2d output differs from a
+// float-weighted reference by well under 1%.
+func TestConv2dFixedPointFidelity(t *testing.T) {
+	b := workloads.Conv2d()
+	p := b.ScaledParams()
+	in := b.Inputs(p, 4)
+	fixed := b.Golden(p, in)
+
+	// Float reference: normalized float Gaussian over the same 8.8 pixels.
+	k := p.K
+	pw := p.ImgW + k - 1
+	sigma := float64(k) / 4
+	weights := make([]float64, k*k)
+	var wsum float64
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			dy, dx := float64(y-k/2), float64(x-k/2)
+			weights[y*k+x] = math.Exp(-(dx*dx + dy*dy) / (2 * sigma * sigma))
+			wsum += weights[y*k+x]
+		}
+	}
+	img := in["IMG"]
+	ref := make([]float64, p.ImgW*p.ImgH)
+	for y := 0; y < p.ImgH; y++ {
+		for x := 0; x < p.ImgW; x++ {
+			var acc float64
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					acc += weights[ky*k+kx] / wsum * float64(img[(y+ky)*pw+(x+kx)]) / 256
+				}
+			}
+			ref[y*p.ImgW+x] = acc
+		}
+	}
+	// The integer build uses binomial (not true Gaussian) weights and
+	// truncating shifts; the paper's port bound is 1%.
+	if nr := quality.NRMSE(fixed, ref); nr > 1.0 {
+		t.Fatalf("fixed-point Conv2d differs from the float reference by %.3f%% NRMSE (paper bound: 1%%)", nr)
+	}
+}
+
+// TestGlucoseFixedPointFidelity: the FIR glucose filter ported to integer
+// weights stays within 1% of a float FIR.
+func TestGlucoseFixedPointFidelity(t *testing.T) {
+	weights := workloads.GlucoseWeights()
+	trace := workloads.ClinicalGlucoseTrace(3)
+	var fixed, ref []float64
+	for i, r := range trace {
+		raw := workloads.GlucoseRawWindow(r, int64(40+i))
+		fixed = append(fixed, workloads.GlucoseGolden(raw, weights))
+		var acc float64
+		for j, v := range raw {
+			acc += float64(weights[j]) / 256 * float64(v) / 256
+		}
+		ref = append(ref, acc)
+	}
+	if nr := quality.NRMSE(fixed, ref); nr > 1.0 {
+		t.Fatalf("fixed-point glucose filter differs from float reference by %.3f%% (paper bound: 1%%)", nr)
+	}
+}
+
+func TestConvertSlice(t *testing.T) {
+	got := ConvertSlice(U8x8, []float64{0, 0.5, 1, 255})
+	want := []int64{0, 128, 256, 255 * 256}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("convert[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package intermittent
+
+import "whatsnext/internal/cpu"
+
+// NVPConfig parameterizes the non-volatile-processor runtime.
+type NVPConfig struct {
+	// BackupEnergyFactor is the per-cycle energy surcharge of backing up
+	// the architectural state every cycle into non-volatile flip-flops
+	// (the backup-every-cycle policy of Ma et al.). 0.3 means +30%.
+	BackupEnergyFactor float64
+	// WakeupCycles is the fixed cost of resuming after an outage.
+	WakeupCycles uint32
+}
+
+// DefaultNVPConfig uses a 30% per-cycle backup surcharge and a short wakeup,
+// consistent with published NV flip-flop overheads.
+func DefaultNVPConfig() NVPConfig {
+	return NVPConfig{BackupEnergyFactor: 0.3, WakeupCycles: 8}
+}
+
+// NVP is the non-volatile processor policy: architectural state persists
+// across outages, so the core resumes in place. There are no checkpoints
+// and no re-execution; the cost is a continuous backup energy surcharge.
+type NVP struct {
+	cfg NVPConfig
+	r   *Runner
+}
+
+// NewNVP builds the policy with the given configuration.
+func NewNVP(cfg NVPConfig) *NVP { return &NVP{cfg: cfg} }
+
+// Name implements Policy.
+func (n *NVP) Name() string { return "nvp" }
+
+// Checkpoints implements Policy. State is implicitly checkpointed every
+// cycle; the discrete count is therefore not meaningful and reported as 0.
+func (n *NVP) Checkpoints() uint64 { return 0 }
+
+// Attach implements Policy.
+func (n *NVP) Attach(r *Runner) {
+	n.r = r
+	r.Mem.SetTracking(false)
+	r.CPU.BeforeStore = nil
+}
+
+// AfterStep implements Policy: charge the per-cycle backup surcharge.
+func (n *NVP) AfterStep(cost cpu.Cost) (uint32, float64) {
+	extra := float64(cost.Cycles) * n.cfg.BackupEnergyFactor * n.r.Supply.Config().EnergyPerCycle
+	return 0, extra
+}
+
+// OnOutage implements Policy: architectural state is preserved in NV
+// flip-flops. Only the (volatile SRAM-based) memo table is lost.
+func (n *NVP) OnOutage() {
+	if n.r.CPU.Memo != nil {
+		n.r.CPU.Memo.Invalidate()
+	}
+	n.r.Mem.PowerLoss()
+}
+
+// OnRestore implements Policy: resume in place, honoring skim points.
+func (n *NVP) OnRestore() (uint32, float64) {
+	n.r.consumeSkim()
+	return n.cfg.WakeupCycles, 0
+}

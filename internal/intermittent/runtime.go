@@ -1,0 +1,180 @@
+// Package intermittent implements the two forward-progress runtimes the
+// paper evaluates WN on:
+//
+//   - Clank: a checkpoint-based volatile processor. Volatile register state
+//     is checkpointed to non-volatile memory when a watchdog interval
+//     expires or when a store is about to violate idempotency (write-after-
+//     read to non-volatile data since the last checkpoint). After a power
+//     outage the core restores the last checkpoint and re-executes.
+//
+//   - NVP: a non-volatile processor that backs up its architectural state
+//     every cycle (modeled as a per-cycle energy surcharge). After an
+//     outage it resumes in place with no re-execution.
+//
+// Both runtimes honor skim points: if the non-volatile skim register was
+// armed by an SKM instruction, the restore path jumps to the armed target —
+// decoupling the backup location from the restore location — so the
+// application takes its current approximate result as-is and moves on.
+package intermittent
+
+import (
+	"errors"
+	"fmt"
+
+	"whatsnext/internal/cpu"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+)
+
+// Policy is a forward-progress runtime strategy.
+type Policy interface {
+	// Name identifies the policy ("clank", "nvp").
+	Name() string
+	// Attach binds the policy to a device and resets its state.
+	Attach(r *Runner)
+	// AfterStep reports runtime overhead incurred by the instruction that
+	// just executed (checkpoints, per-cycle backup).
+	AfterStep(cost cpu.Cost) (extraCycles uint32, extraEnergy float64)
+	// OnOutage handles a brown-out.
+	OnOutage()
+	// OnRestore handles power returning; it must leave the CPU ready to
+	// execute and report the restore overhead.
+	OnRestore() (extraCycles uint32, extraEnergy float64)
+	// Checkpoints returns how many checkpoints the policy has taken.
+	Checkpoints() uint64
+}
+
+// Result summarizes a run to completion.
+type Result struct {
+	Halted       bool
+	SkimTaken    bool   // run ended via a skim-point jump
+	CyclesOn     uint64 // active execution cycles (incl. runtime overhead)
+	CyclesOff    uint64 // cycles spent waiting for recharge
+	Instructions uint64
+	Outages      uint64
+	Checkpoints  uint64
+	EnergyDrawn  float64
+}
+
+// TotalCycles is wall-clock completion time in cycles.
+func (r Result) TotalCycles() uint64 { return r.CyclesOn + r.CyclesOff }
+
+// ErrOutOfPower reports that the harvest trace can no longer recharge the
+// device (e.g. a zero-power tail).
+var ErrOutOfPower = errors.New("intermittent: supply cannot recharge to V_on")
+
+// ErrCycleBudget reports that the run exceeded its safety cycle budget.
+var ErrCycleBudget = errors.New("intermittent: cycle budget exhausted (runaway program?)")
+
+// Runner drives a CPU over a Supply under a Policy until the program halts.
+type Runner struct {
+	CPU    *cpu.CPU
+	Mem    *mem.Memory
+	Supply *energy.Supply
+	Policy Policy
+
+	// MaxCycles bounds total active cycles as a runaway guard; zero means
+	// a generous default (2^40).
+	MaxCycles uint64
+
+	// OnProgress, when non-nil, is invoked after every instruction with
+	// the running active-cycle count. Experiments use it to sample output
+	// quality over time.
+	OnProgress func(cyclesOn uint64)
+
+	pendingCycles uint32
+	pendingEnergy float64
+	skimTaken     bool
+}
+
+// NewRunner wires a device together and attaches the policy.
+func NewRunner(c *cpu.CPU, m *mem.Memory, s *energy.Supply, p Policy) *Runner {
+	r := &Runner{CPU: c, Mem: m, Supply: s, Policy: p}
+	p.Attach(r)
+	return r
+}
+
+// consumeSkim applies an armed skim point: the restore path jumps to the
+// armed target instead of the checkpoint PC (Section III-C).
+func (r *Runner) consumeSkim() {
+	if r.CPU.SkimArmed {
+		r.CPU.Regs[isa.PC] = r.CPU.SkimTarget
+		r.CPU.DisarmSkim()
+		r.skimTaken = true
+	}
+}
+
+// RunToHalt executes until HALT, riding through power outages per the
+// policy. The caller is responsible for loading the program, installing
+// inputs and resetting the CPU beforehand.
+func (r *Runner) RunToHalt() (Result, error) {
+	maxCycles := r.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	r.skimTaken = false
+
+	startOn := r.Supply.CyclesOn
+	startOff := r.Supply.CyclesOff
+	startOut := r.Supply.Outages
+	startDrawn := r.Supply.EnergyDrawn
+	startInst := r.CPU.Stats.Instructions
+
+	outage := func() error {
+		r.Policy.OnOutage()
+		if _, ok := r.Supply.WaitForPower(); !ok {
+			return ErrOutOfPower
+		}
+		ec, ee := r.Policy.OnRestore()
+		r.pendingCycles += ec
+		r.pendingEnergy += ee
+		return nil
+	}
+
+	for !r.CPU.Halted {
+		if r.Supply.CyclesOn-startOn > maxCycles {
+			return r.result(startOn, startOff, startOut, startDrawn, startInst), ErrCycleBudget
+		}
+		// Pay pending runtime overhead (restore costs) first.
+		if r.pendingCycles > 0 || r.pendingEnergy > 0 {
+			pc, pe := r.pendingCycles, r.pendingEnergy
+			r.pendingCycles, r.pendingEnergy = 0, 0
+			if !r.Supply.Spend(pc, pe) {
+				if err := outage(); err != nil {
+					return r.result(startOn, startOff, startOut, startDrawn, startInst), err
+				}
+				continue
+			}
+		}
+		cost, err := r.CPU.Step()
+		if err != nil {
+			return r.result(startOn, startOff, startOut, startDrawn, startInst), fmt.Errorf("intermittent: fault: %w", err)
+		}
+		ec, ee := r.Policy.AfterStep(cost)
+		nvEnergy := float64(cost.NVWrites) * r.Supply.Config().NVWriteEnergy
+		ok := r.Supply.Spend(cost.Cycles+ec, nvEnergy+ee)
+		if r.OnProgress != nil {
+			r.OnProgress(r.Supply.CyclesOn - startOn)
+		}
+		if !ok {
+			if err := outage(); err != nil {
+				return r.result(startOn, startOff, startOut, startDrawn, startInst), err
+			}
+		}
+	}
+	return r.result(startOn, startOff, startOut, startDrawn, startInst), nil
+}
+
+func (r *Runner) result(startOn, startOff, startOut uint64, startDrawn float64, startInst uint64) Result {
+	return Result{
+		Halted:       r.CPU.Halted,
+		SkimTaken:    r.skimTaken,
+		CyclesOn:     r.Supply.CyclesOn - startOn,
+		CyclesOff:    r.Supply.CyclesOff - startOff,
+		Instructions: r.CPU.Stats.Instructions - startInst,
+		Outages:      r.Supply.Outages - startOut,
+		Checkpoints:  r.Policy.Checkpoints(),
+		EnergyDrawn:  r.Supply.EnergyDrawn - startDrawn,
+	}
+}

@@ -1,0 +1,296 @@
+// Package mem models the memory system of a WN-class energy-harvesting
+// device: a non-volatile code region (flash/FRAM), a non-volatile data
+// region (FRAM), and a volatile SRAM region.
+//
+// The memory tracks, per checkpoint interval, the set of addresses read and
+// written. The Clank-style runtime uses this to detect idempotency
+// violations (a write to non-volatile memory at an address previously read
+// since the last checkpoint), which force a checkpoint before the write may
+// proceed so that re-execution after a power outage observes consistent
+// state.
+package mem
+
+import "fmt"
+
+// Region boundaries. Addresses are 32-bit; each region is sized at
+// construction time.
+const (
+	CodeBase = 0x0000_0000 // non-volatile instruction memory
+	DataBase = 0x1000_0000 // non-volatile FRAM data
+	SRAMBase = 0x2000_0000 // volatile SRAM (stack, scratch)
+)
+
+// AccessError reports an out-of-range or misaligned access.
+type AccessError struct {
+	Addr  uint32
+	Size  int
+	Write bool
+	Msg   string
+}
+
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: invalid %d-byte %s at %#08x: %s", e.Size, kind, e.Addr, e.Msg)
+}
+
+// Config sizes the memory regions.
+type Config struct {
+	CodeBytes int // non-volatile instruction memory
+	DataBytes int // non-volatile FRAM data memory
+	SRAMBytes int // volatile SRAM
+}
+
+// DefaultConfig returns region sizes comfortable for every Table I benchmark
+// at paper scale (a 128x128 16-bit image plus 32-bit accumulator planes).
+func DefaultConfig() Config {
+	return Config{
+		CodeBytes: 64 << 10,
+		DataBytes: 512 << 10,
+		SRAMBytes: 16 << 10,
+	}
+}
+
+// Memory is the device memory. It is not safe for concurrent use; each
+// simulated device owns one Memory.
+type Memory struct {
+	cfg  Config
+	code []byte
+	data []byte
+	sram []byte
+
+	// Idempotency tracking for the Clank-style runtime. Keys are
+	// word-aligned non-volatile data addresses.
+	trackAccess bool
+	readFirst   map[uint32]struct{} // read before any write since last checkpoint
+	written     map[uint32]struct{}
+
+	// Access statistics (since construction or ResetStats).
+	Reads    uint64
+	Writes   uint64
+	NVWrites uint64
+}
+
+// New builds a Memory with the given region sizes.
+func New(cfg Config) *Memory {
+	return &Memory{
+		cfg:       cfg,
+		code:      make([]byte, cfg.CodeBytes),
+		data:      make([]byte, cfg.DataBytes),
+		sram:      make([]byte, cfg.SRAMBytes),
+		readFirst: make(map[uint32]struct{}),
+		written:   make(map[uint32]struct{}),
+	}
+}
+
+// Config returns the sizes the memory was built with.
+func (m *Memory) Config() Config { return m.cfg }
+
+// SetTracking enables or disables read/write-set tracking. The Clank runtime
+// enables it; the NVP runtime leaves it off.
+func (m *Memory) SetTracking(on bool) { m.trackAccess = on }
+
+// ClearAccessSets empties the tracked read/write sets. Called at every
+// checkpoint boundary.
+func (m *Memory) ClearAccessSets() {
+	clear(m.readFirst)
+	clear(m.written)
+}
+
+// WouldViolate reports whether a store of size bytes at addr would be an
+// idempotency violation: a write to non-volatile data that was read (before
+// being written) since the last checkpoint. Re-executing the interval after
+// an outage would then read the new value instead of the original one.
+func (m *Memory) WouldViolate(addr uint32, size int) bool {
+	if !m.trackAccess || !inRegion(addr, DataBase, len(m.data)) {
+		return false
+	}
+	for _, wa := range coveredWords(addr, size) {
+		if _, ok := m.readFirst[wa]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Memory) noteRead(addr uint32, size int) {
+	m.Reads++
+	if !m.trackAccess || !inRegion(addr, DataBase, len(m.data)) {
+		return
+	}
+	for _, wa := range coveredWords(addr, size) {
+		if _, written := m.written[wa]; !written {
+			m.readFirst[wa] = struct{}{}
+		}
+	}
+}
+
+func (m *Memory) noteWrite(addr uint32, size int) {
+	m.Writes++
+	if inRegion(addr, DataBase, len(m.data)) {
+		m.NVWrites++
+	}
+	if !m.trackAccess || !inRegion(addr, DataBase, len(m.data)) {
+		return
+	}
+	for _, wa := range coveredWords(addr, size) {
+		m.written[wa] = struct{}{}
+	}
+}
+
+// coveredWords lists the word-aligned addresses a size-byte access touches.
+func coveredWords(addr uint32, size int) [2]uint32 {
+	first := addr &^ 3
+	last := (addr + uint32(size) - 1) &^ 3
+	return [2]uint32{first, last} // equal entries when within one word
+}
+
+func inRegion(addr uint32, base uint32, size int) bool {
+	return addr >= base && addr < base+uint32(size)
+}
+
+// backing returns the byte slice and offset for an access, or an error.
+func (m *Memory) backing(addr uint32, size int, write bool) ([]byte, uint32, error) {
+	var region []byte
+	var base uint32
+	switch {
+	case inRegion(addr, CodeBase, len(m.code)):
+		region, base = m.code, CodeBase
+	case inRegion(addr, DataBase, len(m.data)):
+		region, base = m.data, DataBase
+	case inRegion(addr, SRAMBase, len(m.sram)):
+		region, base = m.sram, SRAMBase
+	default:
+		return nil, 0, &AccessError{Addr: addr, Size: size, Write: write, Msg: "unmapped"}
+	}
+	off := addr - base
+	if int(off)+size > len(region) {
+		return nil, 0, &AccessError{Addr: addr, Size: size, Write: write, Msg: "past end of region"}
+	}
+	if uint32(size) > 1 && addr%uint32(size) != 0 {
+		return nil, 0, &AccessError{Addr: addr, Size: size, Write: write, Msg: "misaligned"}
+	}
+	return region, off, nil
+}
+
+// LoadWord reads a 32-bit little-endian word.
+func (m *Memory) LoadWord(addr uint32) (uint32, error) {
+	b, off, err := m.backing(addr, 4, false)
+	if err != nil {
+		return 0, err
+	}
+	m.noteRead(addr, 4)
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24, nil
+}
+
+// LoadHalf reads a 16-bit little-endian halfword (zero-extended).
+func (m *Memory) LoadHalf(addr uint32) (uint32, error) {
+	b, off, err := m.backing(addr, 2, false)
+	if err != nil {
+		return 0, err
+	}
+	m.noteRead(addr, 2)
+	return uint32(b[off]) | uint32(b[off+1])<<8, nil
+}
+
+// LoadByte reads one byte (zero-extended).
+func (m *Memory) LoadByte(addr uint32) (uint32, error) {
+	b, off, err := m.backing(addr, 1, false)
+	if err != nil {
+		return 0, err
+	}
+	m.noteRead(addr, 1)
+	return uint32(b[off]), nil
+}
+
+// StoreWord writes a 32-bit little-endian word.
+func (m *Memory) StoreWord(addr uint32, v uint32) error {
+	b, off, err := m.backing(addr, 4, true)
+	if err != nil {
+		return err
+	}
+	m.noteWrite(addr, 4)
+	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// StoreHalf writes a 16-bit little-endian halfword.
+func (m *Memory) StoreHalf(addr uint32, v uint32) error {
+	b, off, err := m.backing(addr, 2, true)
+	if err != nil {
+		return err
+	}
+	m.noteWrite(addr, 2)
+	b[off], b[off+1] = byte(v), byte(v>>8)
+	return nil
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v uint32) error {
+	b, off, err := m.backing(addr, 1, true)
+	if err != nil {
+		return err
+	}
+	m.noteWrite(addr, 1)
+	b[off] = byte(v)
+	return nil
+}
+
+// FetchWord reads an instruction word without touching access statistics or
+// tracking (instruction fetch is from non-volatile code memory).
+func (m *Memory) FetchWord(addr uint32) (uint32, error) {
+	b, off, err := m.backing(addr, 4, false)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24, nil
+}
+
+// LoadProgram copies an encoded program image into code memory at CodeBase.
+func (m *Memory) LoadProgram(image []byte) error {
+	if len(image) > len(m.code) {
+		return fmt.Errorf("mem: program image (%d bytes) exceeds code memory (%d bytes)", len(image), len(m.code))
+	}
+	clear(m.code)
+	copy(m.code, image)
+	return nil
+}
+
+// WriteData bulk-copies bytes into the non-volatile data region at addr,
+// bypassing tracking. Used by harnesses to install benchmark inputs.
+func (m *Memory) WriteData(addr uint32, b []byte) error {
+	if !inRegion(addr, DataBase, len(m.data)) || int(addr-DataBase)+len(b) > len(m.data) {
+		return &AccessError{Addr: addr, Size: len(b), Write: true, Msg: "bulk write out of data region"}
+	}
+	copy(m.data[addr-DataBase:], b)
+	return nil
+}
+
+// ReadData bulk-copies len(b) bytes out of the non-volatile data region,
+// bypassing tracking. Used by harnesses to extract benchmark outputs.
+func (m *Memory) ReadData(addr uint32, b []byte) error {
+	if !inRegion(addr, DataBase, len(m.data)) || int(addr-DataBase)+len(b) > len(m.data) {
+		return &AccessError{Addr: addr, Size: len(b), Msg: "bulk read out of data region"}
+	}
+	copy(b, m.data[addr-DataBase:])
+	return nil
+}
+
+// PowerLoss models a power outage: volatile SRAM contents are destroyed.
+// Non-volatile code and data regions persist.
+func (m *Memory) PowerLoss() {
+	clear(m.sram)
+}
+
+// ZeroData clears the whole non-volatile data region. Harnesses call it
+// between benchmark invocations.
+func (m *Memory) ZeroData() {
+	clear(m.data)
+}
+
+// ResetStats zeroes the access counters.
+func (m *Memory) ResetStats() {
+	m.Reads, m.Writes, m.NVWrites = 0, 0, 0
+}

@@ -1,0 +1,163 @@
+package quality
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("identical signals: %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("rmse = %v", got)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+}
+
+func TestRMSEPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic (harness bug)")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestNRMSE(t *testing.T) {
+	want := []float64{0, 50, 100}
+	got := []float64{0, 50, 90}
+	// RMSE = sqrt(100/3), peak = 100.
+	exp := 100 * math.Sqrt(100.0/3) / 100
+	if v := NRMSE(got, want); math.Abs(v-exp) > 1e-9 {
+		t.Fatalf("NRMSE = %v, want %v", v, exp)
+	}
+	if NRMSE(want, want) != 0 {
+		t.Fatal("exact output has zero error")
+	}
+	// Zero reference falls back to a unit denominator.
+	if v := NRMSE([]float64{1}, []float64{0}); v != 100 {
+		t.Fatalf("zero-reference NRMSE = %v", v)
+	}
+}
+
+func TestNRMSERange(t *testing.T) {
+	want := []float64{100, 200}
+	got := []float64{100, 190}
+	// RMSE = sqrt(50), range = 100.
+	exp := 100 * math.Sqrt(50) / 100
+	if v := NRMSERange(got, want); math.Abs(v-exp) > 1e-9 {
+		t.Fatalf("NRMSERange = %v, want %v", v, exp)
+	}
+	// Constant reference normalizes by |max|.
+	if v := NRMSERange([]float64{90, 90}, []float64{100, 100}); math.Abs(v-10) > 1e-9 {
+		t.Fatalf("constant-reference range NRMSE = %v", v)
+	}
+}
+
+func TestNRMSEScaleInvariance(t *testing.T) {
+	f := func(base uint16, noise uint8) bool {
+		w := []float64{float64(base) + 1, float64(base) + 2, float64(base) + 100}
+		g := []float64{w[0] + float64(noise), w[1], w[2]}
+		a := NRMSE(g, w)
+		// Scaling both signals by 8 must not change the relative error.
+		ws := []float64{w[0] * 8, w[1] * 8, w[2] * 8}
+		gs := []float64{g[0] * 8, g[1] * 8, g[2] * 8}
+		return math.Abs(NRMSE(gs, ws)-a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAEAndRelative(t *testing.T) {
+	if v := MAE([]float64{1, 3}, []float64{2, 5}); v != 1.5 {
+		t.Fatalf("MAE = %v", v)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Fatal("empty MAE")
+	}
+	if v := MeanRelativeError([]float64{90, 0}, []float64{100, 0}); v != 10 {
+		t.Fatalf("rel err = %v (zero-reference entries are skipped)", v)
+	}
+	if MeanRelativeError([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("all-zero reference yields 0")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	if !math.IsInf(PSNR([]float64{5}, []float64{5}, 255), 1) {
+		t.Fatal("identical images have infinite PSNR")
+	}
+	v := PSNR([]float64{0}, []float64{255}, 255)
+	if math.Abs(v) > 1e-9 { // rmse == peak -> 0 dB
+		t.Fatalf("PSNR = %v", v)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median is NaN")
+	}
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 {
+		t.Fatal("median must not mutate its input")
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if v := GeoMean([]float64{1, 4}); v != 2 {
+		t.Fatalf("geomean = %v", v)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("geomean of non-positive values is NaN")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("empty aggregates are NaN")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int16{-2, 7})
+	if got[0] != -2 || got[1] != 7 {
+		t.Fatalf("Ints = %v", got)
+	}
+	g2 := Ints([]uint16{65535})
+	if g2[0] != 65535 {
+		t.Fatal("unsigned conversion")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	px := []float64{0, 128, 300, -5}
+	if err := WritePGM(&buf, px, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !strings.HasPrefix(string(out), "P5\n2 2\n255\n") {
+		t.Fatalf("header wrong: %q", out[:12])
+	}
+	data := out[len(out)-4:]
+	if data[0] != 0 || data[1] != 128 || data[2] != 255 || data[3] != 0 {
+		t.Fatalf("pixels %v (clamping failed)", data)
+	}
+	if err := WritePGM(&buf, px, 3, 2); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}

@@ -1,0 +1,72 @@
+package synthmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdderModelMatchesPaper(t *testing.T) {
+	a := DefaultAdder()
+	if a.NumMuxes() != 7 {
+		t.Fatalf("muxes = %d, want 7 (one per 4 full adders in a 32-bit chain)", a.NumMuxes())
+	}
+	// The paper reports ~0.02% core area and ~4% adder power.
+	if pct := a.AreaOverheadPct(); pct < 0.005 || pct > 0.05 {
+		t.Errorf("area overhead %.4f%%, expected ~0.02%%", pct)
+	}
+	if pct := a.PowerOverheadPct(); pct < 2 || pct > 6 {
+		t.Errorf("power overhead %.2f%%, expected ~4%%", pct)
+	}
+}
+
+func TestFmaxClearsOperatingPoint(t *testing.T) {
+	a := DefaultAdder()
+	tech := TSMC65()
+	f := a.FmaxGHz(tech)
+	// The paper synthesizes to 1.12 GHz; the model should land in the
+	// same GHz class and tower over 24 MHz.
+	if f < 0.5 || f > 3 {
+		t.Errorf("Fmax %.2f GHz out of the expected class", f)
+	}
+	if !a.MeetsTiming(tech, 24e6) {
+		t.Error("24 MHz must be met trivially")
+	}
+	if a.MeetsTiming(tech, 100e9) {
+		t.Error("100 GHz should not be met")
+	}
+}
+
+func TestMemoTableRelativeArea(t *testing.T) {
+	m := DefaultMemoTable()
+	// The paper's CACTI estimate: 40.5% of a 16x16 multiplier.
+	if pct := m.RelativeToMultiplierPct(); pct < 30 || pct > 55 {
+		t.Errorf("memo table is %.1f%% of the multiplier, expected ~40%%", pct)
+	}
+}
+
+func TestMemoAreaScalesWithEntries(t *testing.T) {
+	small := MemoTableModel{Entries: 16, TagBits: 28, DataBits: 32}
+	big := MemoTableModel{Entries: 64, TagBits: 26, DataBits: 32}
+	if big.GE() <= small.GE() {
+		t.Error("more entries must cost more area")
+	}
+}
+
+func TestMultiplierAreaScales(t *testing.T) {
+	if MultiplierGE(32) <= MultiplierGE(16) {
+		t.Error("wider multipliers must be larger")
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	r := Evaluate(24e6)
+	if !r.TimingOK || r.AdderMuxes != 7 {
+		t.Fatalf("report = %+v", r)
+	}
+	s := r.String()
+	for _, want := range []string{"muxes", "Fmax", "memo table", "tsmc65"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report text missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"whatsnext/internal/compiler"
+)
+
+// The Section II / Figure 3 case study: continuous blood-glucose
+// monitoring on an energy-harvesting wearable. Each reading is produced by
+// an FIR filter over a window of raw sensor samples; the raw samples are
+// the #pragma asp input, so a 4-bit first pass yields a usable reading at a
+// fraction of the precise energy.
+
+// GlucoseWindow is the raw-sample window length per reading.
+const GlucoseWindow = 64
+
+// GlucoseKernel builds the per-reading filter: OUT[0] = sum(W[i]*RAW[i])
+// >> 16, where RAW holds 8.8 fixed-point glucose samples and the weights
+// sum to 256.
+func GlucoseKernel(bits int) *compiler.Kernel {
+	return &compiler.Kernel{
+		Name: "glucose",
+		Arrays: []compiler.Array{
+			{Name: "RAW", ElemBits: 16, Len: GlucoseWindow, Pragma: compiler.PragmaASP, SubwordBits: bits},
+			{Name: "W", ElemBits: 16, Len: GlucoseWindow},
+			{Name: "OUT", ElemBits: 32, Len: 1, Output: true, PostShift: 16},
+		},
+		Body: []compiler.Stmt{
+			compiler.Assign{Array: "OUT", Index: compiler.LinConst(0),
+				Value: compiler.Reduce{Var: "i", N: GlucoseWindow, Body: compiler.Bin{Op: compiler.OpMul,
+					A: compiler.Load{Array: "W", Index: compiler.LinVar("i", 1, 0)},
+					B: compiler.Load{Array: "RAW", Index: compiler.LinVar("i", 1, 0)},
+				}}},
+		},
+	}
+}
+
+// GlucoseWeights returns the FIR window weights (triangular, summing to
+// 256 so the display shift stays a power of two).
+func GlucoseWeights() []int64 {
+	w := make([]int64, GlucoseWindow)
+	var sum int64
+	for i := range w {
+		d := i - GlucoseWindow/2
+		if d < 0 {
+			d = -d
+		}
+		w[i] = int64(GlucoseWindow/2 - d + 1)
+		sum += w[i]
+	}
+	// Normalize the integer weights to sum to exactly 256.
+	target := int64(256)
+	acc := int64(0)
+	for i := range w {
+		scaled := (w[i]*target + sum/2) / sum
+		if scaled < 1 {
+			scaled = 1
+		}
+		w[i] = scaled
+		acc += scaled
+	}
+	// Distribute any rounding residue over the center taps.
+	for i := GlucoseWindow / 2; acc != target && i < GlucoseWindow; i++ {
+		if acc < target {
+			w[i]++
+			acc++
+		} else if w[i] > 1 {
+			w[i]--
+			acc--
+		}
+	}
+	return w
+}
+
+// GlucoseReading is one clinical sample of the 10-hour trace.
+type GlucoseReading struct {
+	MinuteOfDay int
+	MgPerDL     float64
+}
+
+// ClinicalGlucoseTrace synthesizes the Figure 3 scenario: 15-minute
+// readings from 10:48 to 20:24 with two hypoglycemic dips (below the
+// 50 mg/dL danger line) at 14:30 and 18:30. It substitutes for the
+// clinical data set of Enright et al. used by the paper.
+func ClinicalGlucoseTrace(seed int64) []GlucoseReading {
+	rng := rand.New(rand.NewSource(seed))
+	const start = 10*60 + 48
+	const step = 15
+	const n = 40 // 10 hours of 15-minute intervals
+	readings := make([]GlucoseReading, n)
+	level := 150.0
+	for i := range readings {
+		minute := start + i*step
+		// Baseline random walk between meals.
+		level += rng.Float64()*24 - 12
+		if level > 230 {
+			level = 230
+		}
+		if level < 80 {
+			level = 80
+		}
+		v := level
+		// Two sharp hypoglycemic dips centered at 14:30 and 18:30. Each is
+		// narrow (~20 minutes of danger), so a device that samples sparsely
+		// can slide right past them.
+		for _, dip := range []int{14*60 + 30, 18*60 + 30} {
+			d := minute - dip
+			if d < 0 {
+				d = -d
+			}
+			if d <= 20 {
+				// Sharp quadratic profile: the nearest 15-minute reading
+				// (within ~7 minutes of the center) lands well below the
+				// 50 mg/dL danger line.
+				frac := float64(d) / 20
+				depth := 1 - frac*frac
+				dipV := level - depth*(level-40)
+				if dipV < v {
+					v = dipV
+				}
+			}
+		}
+		readings[i] = GlucoseReading{MinuteOfDay: minute, MgPerDL: v}
+	}
+	return readings
+}
+
+// GlucoseRawWindow expands one clinical reading into the raw 8.8
+// fixed-point sensor window the device filters.
+func GlucoseRawWindow(r GlucoseReading, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	raw := make([]int64, GlucoseWindow)
+	for i := range raw {
+		noise := rng.NormFloat64() * 2.0
+		v := (r.MgPerDL + noise) * 256
+		if v < 0 {
+			v = 0
+		}
+		if v > 65535 {
+			v = 65535
+		}
+		raw[i] = int64(v)
+	}
+	return raw
+}
+
+// GlucoseGolden computes the exact filtered reading for a raw window.
+func GlucoseGolden(raw, weights []int64) float64 {
+	var acc uint32
+	for i := range raw {
+		acc += uint32(weights[i]) * uint32(raw[i])
+	}
+	return float64(acc >> 16)
+}

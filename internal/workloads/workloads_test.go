@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"testing"
+
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/core"
+)
+
+// runOnce compiles and runs a kernel variant under continuous power and
+// returns the display-domain output.
+func runOnce(t *testing.T, b *Benchmark, p Params, opts compiler.Options, bits int, provisioned bool, seed int64) []float64 {
+	t.Helper()
+	k := b.Build(p, bits, provisioned)
+	c, err := compiler.Compile(k, opts)
+	if err != nil {
+		t.Fatalf("%s %v: compile: %v", b.Name, opts, err)
+	}
+	sys := core.NewSystem(core.DefaultConfig(), core.ContinuousTrace())
+	if err := sys.Load(c); err != nil {
+		t.Fatalf("%s: load: %v", b.Name, err)
+	}
+	res, err := sys.RunInput(b.Inputs(p, seed))
+	if err != nil {
+		t.Fatalf("%s %v: run: %v", b.Name, opts, err)
+	}
+	if !res.Halted {
+		t.Fatalf("%s: did not halt", b.Name)
+	}
+	out, err := sys.Output(b.Output)
+	if err != nil {
+		t.Fatalf("%s: output: %v", b.Name, err)
+	}
+	return out
+}
+
+func wantEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: output length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPreciseMatchesGolden runs every benchmark's precise binary on the
+// simulator and requires bit-exact agreement with the native golden model.
+func TestPreciseMatchesGolden(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.ScaledParams()
+			in := b.Inputs(p, 1)
+			golden := b.Golden(p, in)
+			got := runOnce(t, b, p, compiler.Options{Mode: compiler.ModePrecise}, 8, false, 1)
+			wantEqual(t, b.Name, got, golden)
+		})
+	}
+}
+
+// TestAnytimeCompletesExactly verifies the paper's exactness guarantee: a
+// WN build that processes all subwords to completion produces the precise
+// result (SWP always; SWV with provisioned addition).
+func TestAnytimeCompletesExactly(t *testing.T) {
+	for _, b := range All() {
+		for _, bits := range []int{4, 8} {
+			b, bits := b, bits
+			t.Run(b.Name+"/bits="+string(rune('0'+bits)), func(t *testing.T) {
+				p := b.ScaledParams()
+				in := b.Inputs(p, 2)
+				golden := b.Golden(p, in)
+				got := runOnce(t, b, p, compiler.Options{Mode: b.Mode}, bits, true, 2)
+				wantEqual(t, b.Name, got, golden)
+			})
+		}
+	}
+}
