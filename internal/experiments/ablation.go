@@ -10,6 +10,7 @@ import (
 	"whatsnext/internal/energy"
 	"whatsnext/internal/intermittent"
 	"whatsnext/internal/quality"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
 
@@ -17,7 +18,7 @@ import (
 // sweep exhaustively: the value of skim points themselves, the watchdog
 // interval of the Clank runtime, the storage capacitor size, and the memo
 // table capacity (the paper's footnote: "more entries only provides modest
-// additional improvements").
+// additional improvements"). Each sweep point is an independent sweep job.
 
 // SkimAblationRow compares a WN build with and without skim points under
 // harvested power.
@@ -34,59 +35,79 @@ type SkimAblationRow struct {
 // no skim point the application must always run to the precise result, so
 // the anytime passes become pure overhead.
 func SkimAblation(proto Protocol) ([]SkimAblationRow, error) {
-	var rows []SkimAblationRow
+	var jobs []sweep.Job
 	for _, b := range workloads.All() {
 		p := proto.params(b)
-		in := b.Inputs(p, 1)
-		golden := b.Golden(p, in)
-
-		precise, err := PreciseVariant(b, p).Compile()
-		if err != nil {
-			return nil, err
-		}
-		k := b.Build(p, 4, true)
-		withSkim, err := compiler.Compile(k, compiler.Options{Mode: b.Mode})
-		if err != nil {
-			return nil, err
-		}
-		noSkim, err := compiler.Compile(k, compiler.Options{Mode: b.Mode, NoSkim: true})
-		if err != nil {
-			return nil, err
-		}
-
-		run := func(c *compiler.Compiled) (uint64, []float64, error) {
-			sys := intermittentSystem(core.ProcClank, 77, false)
-			if err := sys.Load(c); err != nil {
-				return 0, nil, err
-			}
-			res, err := sys.RunInput(in)
-			if err != nil {
-				return 0, nil, err
-			}
-			out, err := sys.Output(b.Output)
-			return res.TotalCycles(), out, err
-		}
-		pc, _, err := run(precise)
-		if err != nil {
-			return nil, err
-		}
-		sc, sout, err := run(withSkim)
-		if err != nil {
-			return nil, err
-		}
-		nc, _, err := run(noSkim)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SkimAblationRow{
-			Benchmark:    b.Name,
-			WithSkim:     float64(pc) / float64(sc),
-			WithoutSkim:  float64(pc) / float64(nc),
-			SkimNRMSE:    quality.NRMSE(sout, golden),
-			NoSkimCycles: nc,
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "ablation/skim",
+				Kernel:     b.Name,
+				Variant:    fmt.Sprintf("%s/%s4", b.Name, b.Mode),
+				Processor:  core.ProcClank.String(),
+				Source:     string(energy.SourceWiFi),
+				TraceSeed:  77,
+				InputSeed:  1,
+				Params:     specParams(p),
+			},
+			Run: func() (any, error) { return runSkimAblation(b, p) },
 		})
 	}
+	rows, err := runSweep[SkimAblationRow](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("skim ablation: %w", err)
+	}
 	return rows, nil
+}
+
+func runSkimAblation(b *workloads.Benchmark, p workloads.Params) (SkimAblationRow, error) {
+	in := b.Inputs(p, 1)
+	golden := b.Golden(p, in)
+
+	precise, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return SkimAblationRow{}, err
+	}
+	k := b.Build(p, 4, true)
+	withSkim, err := compiler.Compile(k, compiler.Options{Mode: b.Mode})
+	if err != nil {
+		return SkimAblationRow{}, err
+	}
+	noSkim, err := compiler.Compile(k, compiler.Options{Mode: b.Mode, NoSkim: true})
+	if err != nil {
+		return SkimAblationRow{}, err
+	}
+
+	run := func(c *compiler.Compiled) (uint64, []float64, error) {
+		sys := intermittentSystem(core.ProcClank, 77, false)
+		if err := sys.Load(c); err != nil {
+			return 0, nil, err
+		}
+		res, err := sys.RunInput(in)
+		if err != nil {
+			return 0, nil, err
+		}
+		out, err := sys.Output(b.Output)
+		return res.TotalCycles(), out, err
+	}
+	pc, _, err := run(precise)
+	if err != nil {
+		return SkimAblationRow{}, err
+	}
+	sc, sout, err := run(withSkim)
+	if err != nil {
+		return SkimAblationRow{}, err
+	}
+	nc, _, err := run(noSkim)
+	if err != nil {
+		return SkimAblationRow{}, err
+	}
+	return SkimAblationRow{
+		Benchmark:    b.Name,
+		WithSkim:     float64(pc) / float64(sc),
+		WithoutSkim:  float64(pc) / float64(nc),
+		SkimNRMSE:    quality.NRMSE(sout, golden),
+		NoSkimCycles: nc,
+	}, nil
 }
 
 // PrintSkimAblation renders the study.
@@ -110,38 +131,61 @@ type WatchdogRow struct {
 	Livelocked bool
 }
 
+// SimulatedCycles reports the run length for sweep accounting.
+func (r WatchdogRow) SimulatedCycles() uint64 { return r.PreciseCycles }
+
 // WatchdogSweep quantifies the re-execution/checkpoint-overhead trade-off
 // that sets the Clank baseline: small intervals checkpoint constantly,
 // large intervals re-execute large windows after every outage.
 func WatchdogSweep(proto Protocol, intervals []uint64) ([]WatchdogRow, error) {
 	b := workloads.Var()
 	p := proto.params(b)
+	var jobs []sweep.Job
+	for _, wd := range intervals {
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "ablation/watchdog",
+				Kernel:     b.Name,
+				Variant:    PreciseVariant(b, p).String(),
+				Processor:  core.ProcClank.String(),
+				Source:     string(energy.SourceWiFi),
+				TraceSeed:  5,
+				InputSeed:  1,
+				Params:     specParams(p, "watchdog_cycles", fmt.Sprint(wd)),
+			},
+			Run: func() (any, error) { return runWatchdogPoint(b, p, wd) },
+		})
+	}
+	rows, err := runSweep[WatchdogRow](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("watchdog sweep: %w", err)
+	}
+	return rows, nil
+}
+
+func runWatchdogPoint(b *workloads.Benchmark, p workloads.Params, wd uint64) (WatchdogRow, error) {
 	in := b.Inputs(p, 1)
 	precise, err := PreciseVariant(b, p).Compile()
 	if err != nil {
-		return nil, err
+		return WatchdogRow{}, err
 	}
-	var rows []WatchdogRow
-	for _, wd := range intervals {
-		cfg := core.DefaultConfig()
-		cfg.Clank.WatchdogCycles = wd
-		sys := core.NewSystem(cfg, energy.SyntheticWiFiTrace(5, energy.DefaultTraceConfig()))
-		if err := sys.Load(precise); err != nil {
-			return nil, err
-		}
-		sys.Runner.MaxCycles = livelockBudget
-		res, err := sys.RunInput(in)
-		row := WatchdogRow{WatchdogCycles: wd, PreciseCycles: res.TotalCycles(), Checkpoints: res.Checkpoints}
-		switch err {
-		case nil:
-		case intermittent.ErrCycleBudget:
-			row.Livelocked = true
-		default:
-			return nil, err
-		}
-		rows = append(rows, row)
+	cfg := core.DefaultConfig()
+	cfg.Clank.WatchdogCycles = wd
+	sys := core.NewSystem(cfg, energy.SyntheticWiFiTrace(5, energy.DefaultTraceConfig()))
+	if err := sys.Load(precise); err != nil {
+		return WatchdogRow{}, err
 	}
-	return rows, nil
+	sys.Runner.MaxCycles = livelockBudget
+	res, err := sys.RunInput(in)
+	row := WatchdogRow{WatchdogCycles: wd, PreciseCycles: res.TotalCycles(), Checkpoints: res.Checkpoints}
+	switch err {
+	case nil:
+	case intermittent.ErrCycleBudget:
+		row.Livelocked = true
+	default:
+		return WatchdogRow{}, err
+	}
+	return row, nil
 }
 
 // livelockBudget bounds runs that cannot make forward progress (active
@@ -177,55 +221,75 @@ type CapacitorRow struct {
 func CapacitorSweep(proto Protocol, uFs []float64) ([]CapacitorRow, error) {
 	b := workloads.Var()
 	p := proto.params(b)
+	var jobs []sweep.Job
+	for _, uf := range uFs {
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "ablation/capacitor",
+				Kernel:     b.Name,
+				Variant:    WNVariant(b, p, 4).String(),
+				Processor:  core.ProcClank.String(),
+				Source:     string(energy.SourceWiFi),
+				TraceSeed:  5,
+				InputSeed:  1,
+				Params:     specParams(p, "capacitance_uF", fmt.Sprint(uf)),
+			},
+			Run: func() (any, error) { return runCapacitorPoint(b, p, uf) },
+		})
+	}
+	rows, err := runSweep[CapacitorRow](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("capacitor sweep: %w", err)
+	}
+	return rows, nil
+}
+
+func runCapacitorPoint(b *workloads.Benchmark, p workloads.Params, uf float64) (CapacitorRow, error) {
 	in := b.Inputs(p, 1)
 	golden := b.Golden(p, in)
 	precise, err := PreciseVariant(b, p).Compile()
 	if err != nil {
-		return nil, err
+		return CapacitorRow{}, err
 	}
 	wn, err := WNVariant(b, p, 4).Compile()
 	if err != nil {
-		return nil, err
+		return CapacitorRow{}, err
 	}
-	var rows []CapacitorRow
-	for _, uf := range uFs {
-		cfg := core.DefaultConfig()
-		cfg.Device.CapacitanceF = uf * 1e-6
-		run := func(c *compiler.Compiled) (uint64, []float64, error) {
-			sys := core.NewSystem(cfg, energy.SyntheticWiFiTrace(5, energy.DefaultTraceConfig()))
-			if err := sys.Load(c); err != nil {
-				return 0, nil, err
-			}
-			sys.Runner.MaxCycles = livelockBudget
-			res, err := sys.RunInput(in)
-			if err != nil {
-				return 0, nil, err
-			}
-			out, err := sys.Output(b.Output)
-			return res.TotalCycles(), out, err
+	cfg := core.DefaultConfig()
+	cfg.Device.CapacitanceF = uf * 1e-6
+	run := func(c *compiler.Compiled) (uint64, []float64, error) {
+		sys := core.NewSystem(cfg, energy.SyntheticWiFiTrace(5, energy.DefaultTraceConfig()))
+		if err := sys.Load(c); err != nil {
+			return 0, nil, err
 		}
-		row := CapacitorRow{
-			CapacitanceuF: uf,
-			ActiveMs:      1e3 * float64(cfg.Device.CyclesPerCharge()) / cfg.Device.ClockHz,
+		sys.Runner.MaxCycles = livelockBudget
+		res, err := sys.RunInput(in)
+		if err != nil {
+			return 0, nil, err
 		}
-		pc, _, err := run(precise)
+		out, err := sys.Output(b.Output)
+		return res.TotalCycles(), out, err
+	}
+	row := CapacitorRow{
+		CapacitanceuF: uf,
+		ActiveMs:      1e3 * float64(cfg.Device.CyclesPerCharge()) / cfg.Device.ClockHz,
+	}
+	pc, _, err := run(precise)
+	if err == nil {
+		var wc uint64
+		var wout []float64
+		wc, wout, err = run(wn)
 		if err == nil {
-			var wc uint64
-			var wout []float64
-			wc, wout, err = run(wn)
-			if err == nil {
-				row.WNSpeedup = float64(pc) / float64(wc)
-				row.WNNRMSE = quality.NRMSE(wout, golden)
-			}
+			row.WNSpeedup = float64(pc) / float64(wc)
+			row.WNNRMSE = quality.NRMSE(wout, golden)
 		}
-		if err == intermittent.ErrCycleBudget {
-			row.Livelocked = true
-		} else if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	if err == intermittent.ErrCycleBudget {
+		row.Livelocked = true
+	} else if err != nil {
+		return CapacitorRow{}, err
+	}
+	return row, nil
 }
 
 // PrintCapacitorSweep renders the sweep.
@@ -249,47 +313,84 @@ type MemoEntriesRow struct {
 	Speedup float64 // Conv2d 4-bit earliest output vs no table
 }
 
+// memoCell is the raw measurement of one memo-sweep job: cycles to the
+// earliest output plus the table counters. Entries 0 is the no-table base.
+type memoCell struct {
+	Cycles                  uint64
+	Hits, Misses, ZeroSkips uint64
+}
+
+func (c memoCell) SimulatedCycles() uint64 { return c.Cycles }
+
 // MemoEntriesSweep varies the memo-table capacity on Conv2d's 4-bit build,
 // reproducing the paper's footnote that entries beyond 16 give only modest
-// gains at extra area.
+// gains at extra area. The no-table baseline and every capacity point are
+// independent jobs; speedups are derived from the decoded cycle counts.
 func MemoEntriesSweep(proto Protocol, entries []int) ([]MemoEntriesRow, error) {
 	b := workloads.Conv2d()
 	p := proto.params(b)
-	in := b.Inputs(p, 1)
-	c, err := WNVariant(b, p, 4).Compile()
-	if err != nil {
-		return nil, err
+	sizes := append([]int{0}, entries...) // job 0 is the no-table baseline
+	var jobs []sweep.Job
+	for _, n := range sizes {
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "ablation/memo",
+				Kernel:     b.Name,
+				Variant:    WNVariant(b, p, 4).String(),
+				InputSeed:  1,
+				Params:     specParams(p, "memo_entries", itoa(n)),
+			},
+			Run: func() (any, error) { return runMemoPoint(b, p, n) },
+		})
 	}
-	base, _, err := runContinuous(c, in, contOptions{stopAtSkim: true})
+	cells, err := runSweep[memoCell](proto.engine(), jobs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("memo sweep: %w", err)
 	}
+	base := cells[0]
 	var rows []MemoEntriesRow
-	for _, n := range entries {
-		cp, _, err := bareDevice(c, in, false)
-		if err != nil {
-			return nil, err
-		}
-		cp.Memo = cpu.NewSizedMemoTable(n)
-		var cycles uint64
-		for !cp.Halted {
-			cost, err := cp.Step()
-			if err != nil {
-				return nil, err
-			}
-			cycles += uint64(cost.Cycles)
-			if cp.SkimArmed {
-				break
-			}
-		}
-		total := cp.Memo.Hits + cp.Memo.Misses + cp.Memo.ZeroSkips
+	for i, c := range cells[1:] {
+		total := c.Hits + c.Misses + c.ZeroSkips
 		rows = append(rows, MemoEntriesRow{
-			Entries: n,
-			HitRate: float64(cp.Memo.Hits+cp.Memo.ZeroSkips) / float64(total),
-			Speedup: float64(base.Cycles) / float64(cycles),
+			Entries: entries[i],
+			HitRate: float64(c.Hits+c.ZeroSkips) / float64(total),
+			Speedup: float64(base.Cycles) / float64(c.Cycles),
 		})
 	}
 	return rows, nil
+}
+
+// runMemoPoint measures Conv2d's earliest 4-bit output with an n-entry memo
+// table (n == 0: no table).
+func runMemoPoint(b *workloads.Benchmark, p workloads.Params, n int) (memoCell, error) {
+	in := b.Inputs(p, 1)
+	c, err := WNVariant(b, p, 4).Compile()
+	if err != nil {
+		return memoCell{}, err
+	}
+	cp, _, err := bareDevice(c, in, false)
+	if err != nil {
+		return memoCell{}, err
+	}
+	if n > 0 {
+		cp.Memo = cpu.NewSizedMemoTable(n)
+	}
+	var cycles uint64
+	for !cp.Halted {
+		cost, err := cp.Step()
+		if err != nil {
+			return memoCell{}, err
+		}
+		cycles += uint64(cost.Cycles)
+		if cp.SkimArmed {
+			break
+		}
+	}
+	cell := memoCell{Cycles: cycles}
+	if cp.Memo != nil {
+		cell.Hits, cell.Misses, cell.ZeroSkips = cp.Memo.Hits, cp.Memo.Misses, cp.Memo.ZeroSkips
+	}
+	return cell, nil
 }
 
 // PrintMemoEntriesSweep renders the sweep.
@@ -313,54 +414,77 @@ type ConsistencyRow struct {
 	WNSpeedup float64
 }
 
+// SimulatedCycles reports the run length for sweep accounting.
+func (r ConsistencyRow) SimulatedCycles() uint64 { return r.WallCycles }
+
 // ConsistencySweep is an extension study comparing the volatile-processor
 // consistency mechanisms: Clank's checkpoint-on-violation vs undo-log
 // rollback. Clank pays checkpoints on every read-modify-write; the undo
 // log pays per-first-touch logging plus rollback work after each outage.
 func ConsistencySweep(proto Protocol) ([]ConsistencyRow, error) {
-	var rows []ConsistencyRow
+	var jobs []sweep.Job
 	for _, b := range []*workloads.Benchmark{workloads.Var(), workloads.MatAdd()} {
 		p := proto.params(b)
-		in := b.Inputs(p, 1)
-		precise, err := PreciseVariant(b, p).Compile()
-		if err != nil {
-			return nil, err
-		}
-		wn, err := WNVariant(b, p, 4).Compile()
-		if err != nil {
-			return nil, err
-		}
 		for _, proc := range []core.Processor{core.ProcClank, core.ProcUndoLog} {
-			run := func(c *compiler.Compiled) (uint64, uint64, error) {
-				sys := intermittentSystem(proc, 33, false)
-				if err := sys.Load(c); err != nil {
-					return 0, 0, err
-				}
-				sys.Runner.MaxCycles = livelockBudget
-				res, err := sys.RunInput(in)
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.TotalCycles(), res.Checkpoints, nil
-			}
-			pc, cps, err := run(precise)
-			if err != nil {
-				return nil, err
-			}
-			wc, _, err := run(wn)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ConsistencyRow{
-				Benchmark:   b.Name,
-				Mechanism:   proc.String(),
-				WallCycles:  pc,
-				Checkpoints: cps,
-				WNSpeedup:   float64(pc) / float64(wc),
+			jobs = append(jobs, sweep.Job{
+				Spec: sweep.Spec{
+					Experiment: "ablation/consistency",
+					Kernel:     b.Name,
+					Variant:    WNVariant(b, p, 4).String(),
+					Processor:  proc.String(),
+					Source:     string(energy.SourceWiFi),
+					TraceSeed:  33,
+					InputSeed:  1,
+					Params:     specParams(p),
+				},
+				Run: func() (any, error) { return runConsistencyPoint(b, p, proc) },
 			})
 		}
 	}
+	rows, err := runSweep[ConsistencyRow](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("consistency sweep: %w", err)
+	}
 	return rows, nil
+}
+
+func runConsistencyPoint(b *workloads.Benchmark, p workloads.Params, proc core.Processor) (ConsistencyRow, error) {
+	in := b.Inputs(p, 1)
+	precise, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return ConsistencyRow{}, err
+	}
+	wn, err := WNVariant(b, p, 4).Compile()
+	if err != nil {
+		return ConsistencyRow{}, err
+	}
+	run := func(c *compiler.Compiled) (uint64, uint64, error) {
+		sys := intermittentSystem(proc, 33, false)
+		if err := sys.Load(c); err != nil {
+			return 0, 0, err
+		}
+		sys.Runner.MaxCycles = livelockBudget
+		res, err := sys.RunInput(in)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TotalCycles(), res.Checkpoints, nil
+	}
+	pc, cps, err := run(precise)
+	if err != nil {
+		return ConsistencyRow{}, err
+	}
+	wc, _, err := run(wn)
+	if err != nil {
+		return ConsistencyRow{}, err
+	}
+	return ConsistencyRow{
+		Benchmark:   b.Name,
+		Mechanism:   proc.String(),
+		WallCycles:  pc,
+		Checkpoints: cps,
+		WNSpeedup:   float64(pc) / float64(wc),
+	}, nil
 }
 
 // PrintConsistencySweep renders the mechanism comparison.

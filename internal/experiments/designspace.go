@@ -7,8 +7,19 @@ import (
 	"whatsnext/internal/compiler"
 	"whatsnext/internal/mem"
 	"whatsnext/internal/quality"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
+
+// earliestCell is the raw measurement shared by the design-space studies:
+// cycles to a stopping point (earliest output or completion) and the output
+// error at that moment.
+type earliestCell struct {
+	Cycles uint64
+	NRMSE  float64
+}
+
+func (c earliestCell) SimulatedCycles() uint64 { return c.Cycles }
 
 // --- Figure 12: combining vectorization and pipelining (MatMul) ---
 
@@ -26,39 +37,64 @@ type Fig12Row struct {
 // Figure12 measures how much earlier MatMul's first approximate output is
 // available when the ASP input is stored subword-major so one load fetches
 // several subwords (the paper reports 1.08x and 1.24x for 8- and 4-bit).
+// The four (bits, loads) builds are independent sweep jobs.
 func Figure12(proto Protocol) ([]Fig12Row, error) {
 	b := workloads.MatMul()
 	p := proto.params(b)
-	in := b.Inputs(p, 1)
-	golden := b.Golden(p, in)
-	var rows []Fig12Row
+	var jobs []sweep.Job
 	for _, bits := range []int{8, 4} {
-		row := Fig12Row{Bits: bits}
 		for _, vec := range []bool{false, true} {
 			v := WNVariant(b, p, bits)
 			v.VectorLoads = vec
-			c, err := v.Compile()
-			if err != nil {
-				return nil, err
-			}
-			res, m, err := runContinuous(c, in, contOptions{stopAtSkim: true})
-			if err != nil {
-				return nil, err
-			}
-			nr, err := outputNRMSE(c, m, b.Output, golden)
-			if err != nil {
-				return nil, err
-			}
-			if vec {
-				row.VectorLoadCycles, row.VectorNRMSE = res.Cycles, nr
-			} else {
-				row.PlainCycles, row.PlainNRMSE = res.Cycles, nr
-			}
+			jobs = append(jobs, sweep.Job{
+				Spec: sweep.Spec{
+					Experiment: "fig12",
+					Kernel:     b.Name,
+					Variant:    v.String(),
+					InputSeed:  1,
+					Params:     specParams(p),
+				},
+				Run: func() (any, error) { return runEarliestOutput(b, p, v) },
+			})
 		}
-		row.EarlierBy = float64(row.PlainCycles) / float64(row.VectorLoadCycles)
-		rows = append(rows, row)
+	}
+	cells, err := runSweep[earliestCell](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 12: %w", err)
+	}
+	var rows []Fig12Row
+	for i, bits := range []int{8, 4} {
+		plain, vload := cells[2*i], cells[2*i+1]
+		rows = append(rows, Fig12Row{
+			Bits:             bits,
+			PlainCycles:      plain.Cycles,
+			VectorLoadCycles: vload.Cycles,
+			EarlierBy:        float64(plain.Cycles) / float64(vload.Cycles),
+			PlainNRMSE:       plain.NRMSE,
+			VectorNRMSE:      vload.NRMSE,
+		})
 	}
 	return rows, nil
+}
+
+// runEarliestOutput runs a variant under continuous power to its first skim
+// point and scores the output available there.
+func runEarliestOutput(b *workloads.Benchmark, p workloads.Params, v Variant) (earliestCell, error) {
+	in := b.Inputs(p, 1)
+	golden := b.Golden(p, in)
+	c, err := v.Compile()
+	if err != nil {
+		return earliestCell{}, err
+	}
+	res, m, err := runContinuous(c, in, contOptions{stopAtSkim: true})
+	if err != nil {
+		return earliestCell{}, err
+	}
+	nr, err := outputNRMSE(c, m, b.Output, golden)
+	if err != nil {
+		return earliestCell{}, err
+	}
+	return earliestCell{Cycles: res.Cycles, NRMSE: nr}, nil
 }
 
 // PrintFigure12 renders the comparison.
@@ -82,14 +118,22 @@ type Fig13Row struct {
 	HitRate   float64 // memo hit + zero-skip rate among multiplies
 }
 
+// fig13Cell is one (config, memo) measurement.
+type fig13Cell struct {
+	Cycles                  uint64
+	Hits, Misses, ZeroSkips uint64
+}
+
+func (c fig13Cell) SimulatedCycles() uint64 { return c.Cycles }
+
 // Figure13 reproduces the memoization case study: speedups of Conv2d when
 // the earliest available output is taken, normalized to the precise case
 // without memoization (paper: precise 1.11x; 8-bit 1.31->1.42x; 4-bit
-// 1.7->1.97x).
+// 1.7->1.97x). The six (config, table) runs are independent sweep jobs;
+// speedups are derived from the decoded cycle counts.
 func Figure13(proto Protocol) ([]Fig13Row, error) {
 	b := workloads.Conv2d()
 	p := proto.params(b)
-	in := b.Inputs(p, 1)
 
 	type cfg struct {
 		name string
@@ -101,49 +145,71 @@ func Figure13(proto Protocol) ([]Fig13Row, error) {
 		{"8-bit", compiler.ModeSWP, 8},
 		{"4-bit", compiler.ModeSWP, 4},
 	}
-	var baseline float64
+	var jobs []sweep.Job
+	for _, cf := range cfgs {
+		for _, memo := range []bool{false, true} {
+			v := Variant{Bench: b, Params: p, Mode: cf.mode, Bits: cf.bits, Provisioned: true}
+			jobs = append(jobs, sweep.Job{
+				Spec: sweep.Spec{
+					Experiment: "fig13",
+					Kernel:     b.Name,
+					Variant:    v.String(),
+					InputSeed:  1,
+					Params:     specParams(p, "memo", fmt.Sprint(memo)),
+				},
+				Run: func() (any, error) { return runFig13Cell(b, p, v, memo) },
+			})
+		}
+	}
+	cells, err := runSweep[fig13Cell](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 13: %w", err)
+	}
+	baseline := float64(cells[0].Cycles) // precise, no table
 	var rows []Fig13Row
 	for i, cf := range cfgs {
-		v := Variant{Bench: b, Params: p, Mode: cf.mode, Bits: cf.bits, Provisioned: true}
-		c, err := v.Compile()
-		if err != nil {
-			return nil, err
+		plain, memo := cells[2*i], cells[2*i+1]
+		row := Fig13Row{
+			Config:    cf.name,
+			NoTable:   baseline / float64(plain.Cycles),
+			WithTable: baseline / float64(memo.Cycles),
 		}
-		row := Fig13Row{Config: cf.name}
-		for _, memo := range []bool{false, true} {
-			cp, m, err := bareDevice(c, in, memo)
-			if err != nil {
-				return nil, err
-			}
-			_ = m
-			var cycles uint64
-			for !cp.Halted {
-				cost, err := cp.Step()
-				if err != nil {
-					return nil, err
-				}
-				cycles += uint64(cost.Cycles)
-				if cf.mode == compiler.ModeSWP && cp.SkimArmed {
-					break
-				}
-			}
-			if i == 0 && !memo {
-				baseline = float64(cycles)
-			}
-			sp := baseline / float64(cycles)
-			if memo {
-				row.WithTable = sp
-				total := cp.Memo.Hits + cp.Memo.Misses + cp.Memo.ZeroSkips
-				if total > 0 {
-					row.HitRate = float64(cp.Memo.Hits+cp.Memo.ZeroSkips) / float64(total)
-				}
-			} else {
-				row.NoTable = sp
-			}
+		if total := memo.Hits + memo.Misses + memo.ZeroSkips; total > 0 {
+			row.HitRate = float64(memo.Hits+memo.ZeroSkips) / float64(total)
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// runFig13Cell measures Conv2d to its earliest output (or completion for
+// the precise build) with or without the memo table.
+func runFig13Cell(b *workloads.Benchmark, p workloads.Params, v Variant, memo bool) (fig13Cell, error) {
+	in := b.Inputs(p, 1)
+	c, err := v.Compile()
+	if err != nil {
+		return fig13Cell{}, err
+	}
+	cp, _, err := bareDevice(c, in, memo)
+	if err != nil {
+		return fig13Cell{}, err
+	}
+	var cycles uint64
+	for !cp.Halted {
+		cost, err := cp.Step()
+		if err != nil {
+			return fig13Cell{}, err
+		}
+		cycles += uint64(cost.Cycles)
+		if v.Mode == compiler.ModeSWP && cp.SkimArmed {
+			break
+		}
+	}
+	cell := fig13Cell{Cycles: cycles}
+	if memo {
+		cell.Hits, cell.Misses, cell.ZeroSkips = cp.Memo.Hits, cp.Memo.Misses, cp.Memo.ZeroSkips
+	}
+	return cell, nil
 }
 
 // PrintFigure13 renders the memoization study.
@@ -159,30 +225,45 @@ func PrintFigure13(w io.Writer, rows []Fig13Row) {
 
 // Figure14 reproduces the provisioning study on MatAdd with 8-bit subwords:
 // the unprovisioned build drops inter-lane carries and its error plateaus,
-// while the provisioned build reaches the precise result.
+// while the provisioned build reaches the precise result. The two curves
+// are independent sweep jobs (each computes its own precise baseline).
 func Figure14(proto Protocol, samples int) (provisioned, unprovisioned QualityCurve, err error) {
 	b := workloads.MatAdd()
 	p := proto.params(b)
+	var jobs []sweep.Job
+	for _, prov := range []bool{true, false} {
+		v := WNVariant(b, p, 8)
+		v.Provisioned = prov
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "fig14",
+				Kernel:     b.Name,
+				Variant:    fmt.Sprintf("%s/prov=%t", v.String(), prov),
+				InputSeed:  1,
+				Params:     specParams(p, "samples", itoa(samples)),
+			},
+			Run: func() (any, error) { return runFig14Curve(b, p, v, samples) },
+		})
+	}
+	curves, err := runSweep[QualityCurve](proto.engine(), jobs)
+	if err != nil {
+		return QualityCurve{}, QualityCurve{}, fmt.Errorf("figure 14: %w", err)
+	}
+	return curves[0], curves[1], nil
+}
+
+func runFig14Curve(b *workloads.Benchmark, p workloads.Params, v Variant, samples int) (QualityCurve, error) {
 	in := b.Inputs(p, 1)
 	golden := b.Golden(p, in)
 	base, err := preciseCycles(b, p, 1)
 	if err != nil {
-		return QualityCurve{}, QualityCurve{}, err
+		return QualityCurve{}, err
 	}
-	run := func(prov bool) (QualityCurve, error) {
-		v := WNVariant(b, p, 8)
-		v.Provisioned = prov
-		c, err := v.Compile()
-		if err != nil {
-			return QualityCurve{}, err
-		}
-		return traceQuality(c, b, in, golden, base, samples)
+	c, err := v.Compile()
+	if err != nil {
+		return QualityCurve{}, err
 	}
-	if provisioned, err = run(true); err != nil {
-		return
-	}
-	unprovisioned, err = run(false)
-	return
+	return traceQuality(c, b, in, golden, base, samples)
 }
 
 // PrintFigure14 renders the two curves.
@@ -252,35 +333,51 @@ type Fig15Row struct {
 
 // Figure15 sweeps 1-, 2-, 3- and 4-bit subword pipelining on Conv2d,
 // taking the earliest available output (paper: error rises and speedup
-// grows as subwords shrink; 1-bit reaches 2.26x).
+// grows as subwords shrink; 1-bit reaches 2.26x). The precise baseline and
+// the four subword builds are five independent sweep jobs.
 func Figure15(proto Protocol) ([]Fig15Row, error) {
 	b := workloads.Conv2d()
 	p := proto.params(b)
-	in := b.Inputs(p, 1)
-	golden := b.Golden(p, in)
-	base, err := preciseCycles(b, p, 1)
-	if err != nil {
-		return nil, err
+	allBits := []int{1, 2, 3, 4}
+	jobs := []sweep.Job{{
+		Spec: sweep.Spec{
+			Experiment: "fig15",
+			Kernel:     b.Name,
+			Variant:    PreciseVariant(b, p).String(),
+			InputSeed:  1,
+			Params:     specParams(p),
+		},
+		Run: func() (any, error) {
+			cycles, err := preciseCycles(b, p, 1)
+			return earliestCell{Cycles: cycles}, err
+		},
+	}}
+	for _, bits := range allBits {
+		v := WNVariant(b, p, bits)
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "fig15",
+				Kernel:     b.Name,
+				Variant:    v.String(),
+				InputSeed:  1,
+				Params:     specParams(p),
+			},
+			Run: func() (any, error) { return runEarliestOutput(b, p, v) },
+		})
 	}
+	cells, err := runSweep[earliestCell](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 15: %w", err)
+	}
+	base := cells[0].Cycles
 	var rows []Fig15Row
-	for _, bits := range []int{1, 2, 3, 4} {
-		c, err := WNVariant(b, p, bits).Compile()
-		if err != nil {
-			return nil, err
-		}
-		res, m, err := runContinuous(c, in, contOptions{stopAtSkim: true})
-		if err != nil {
-			return nil, err
-		}
-		nr, err := outputNRMSE(c, m, b.Output, golden)
-		if err != nil {
-			return nil, err
-		}
+	for i, bits := range allBits {
+		c := cells[i+1]
 		rows = append(rows, Fig15Row{
 			Bits:    bits,
-			Speedup: float64(base) / float64(res.Cycles),
-			NRMSE:   nr,
-			Cycles:  res.Cycles,
+			Speedup: float64(base) / float64(c.Cycles),
+			NRMSE:   c.NRMSE,
+			Cycles:  c.Cycles,
 		})
 	}
 	return rows, nil
@@ -306,50 +403,78 @@ type Fig17Point struct {
 	Missed  bool    // the sampling scheme dropped this set
 }
 
+// fig17Cell is one data set's pair of exact and first-pass values.
+type fig17Cell struct {
+	Precise float64
+	WN      float64
+}
+
 // Figure17 reproduces the Var case study: 24 sensor data sets arrive in a
 // stream; the precise implementation at 4-bit-pass energy cost can only
 // keep up with every other set (sampling), while WN produces a first-pass
 // estimate for every set (paper: 1.53% average measured-value error, peaks
-// and troughs all captured).
+// and troughs all captured). Each data set is one sweep job.
 func Figure17(proto Protocol) ([]Fig17Point, float64, error) {
 	b := workloads.Var()
 	const sets = 24
 	p := workloads.Params{Windows: 1, WindowSize: 64}
-	c, err := WNVariant(b, p, 4).Compile()
-	if err != nil {
-		return nil, 0, err
-	}
 	// The paper's framing: Var's first 4-bit estimate is ready in roughly
 	// half the precise time, so WN can process about two samples for every
 	// sample the precise implementation completes at the same energy. Each
 	// set is scored at its first skim point (earliest available output).
+	var jobs []sweep.Job
+	for d := 0; d < sets; d++ {
+		inputSeed := int64(100 + d)
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "fig17",
+				Kernel:     b.Name,
+				Variant:    WNVariant(b, p, 4).String(),
+				InputSeed:  inputSeed,
+				Params:     specParams(p),
+			},
+			Run: func() (any, error) { return runFig17Set(b, p, inputSeed) },
+		})
+	}
+	cells, err := runSweep[fig17Cell](proto.engine(), jobs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("figure 17: %w", err)
+	}
 	var points []Fig17Point
 	var relErrs []float64
-	for d := 0; d < sets; d++ {
-		in := b.Inputs(p, int64(100+d))
-		golden := b.Golden(p, in)
-		res, m, err := runContinuous(c, in, contOptions{stopAtSkim: true})
-		if err != nil {
-			return nil, 0, err
-		}
-		_ = res
-		got, err := c.Layout.OutputValues(m, b.Output)
-		if err != nil {
-			return nil, 0, err
-		}
-		pt := Fig17Point{
+	for d, c := range cells {
+		points = append(points, Fig17Point{
 			DataSet: d,
-			Precise: golden[0],
-			WN:      got[0],
-			Sampled: golden[0],
+			Precise: c.Precise,
+			WN:      c.WN,
+			Sampled: c.Precise,
 			Missed:  d%2 == 1, // precise can only process every other set
-		}
-		points = append(points, pt)
-		if golden[0] != 0 {
-			relErrs = append(relErrs, 100*abs(got[0]-golden[0])/golden[0])
+		})
+		if c.Precise != 0 {
+			relErrs = append(relErrs, 100*abs(c.WN-c.Precise)/c.Precise)
 		}
 	}
 	return points, quality.Mean(relErrs), nil
+}
+
+// runFig17Set computes one data set's exact variance and its first-pass
+// 4-bit estimate.
+func runFig17Set(b *workloads.Benchmark, p workloads.Params, inputSeed int64) (fig17Cell, error) {
+	c, err := WNVariant(b, p, 4).Compile()
+	if err != nil {
+		return fig17Cell{}, err
+	}
+	in := b.Inputs(p, inputSeed)
+	golden := b.Golden(p, in)
+	_, m, err := runContinuous(c, in, contOptions{stopAtSkim: true})
+	if err != nil {
+		return fig17Cell{}, err
+	}
+	got, err := c.Layout.OutputValues(m, b.Output)
+	if err != nil {
+		return fig17Cell{}, err
+	}
+	return fig17Cell{Precise: golden[0], WN: got[0]}, nil
 }
 
 func abs(x float64) float64 {

@@ -8,6 +8,7 @@ import (
 	"whatsnext/internal/core"
 	"whatsnext/internal/energy"
 	"whatsnext/internal/quality"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
 
@@ -24,54 +25,76 @@ type EnvironmentRow struct {
 // EnvironmentStudy is an extension experiment: the same kernel (Var, 4-bit
 // SWP) across the harvest environments energy-harvesting deployments use —
 // bursty Wi-Fi RF, smooth solar, steady thermal, spiky motion. Skim points
-// matter most where outages are frequent and unpredictable.
+// matter most where outages are frequent and unpredictable. Each source is
+// one sweep job (the seeded trace is regenerated inside the job, which is
+// exactly the determinism the cache key relies on).
 func EnvironmentStudy(proto Protocol) ([]EnvironmentRow, error) {
 	b := workloads.Var()
 	p := proto.params(b)
+	var jobs []sweep.Job
+	for _, src := range energy.Sources() {
+		jobs = append(jobs, sweep.Job{
+			Spec: sweep.Spec{
+				Experiment: "env",
+				Kernel:     b.Name,
+				Variant:    WNVariant(b, p, 4).String(),
+				Processor:  core.ProcClank.String(),
+				Source:     string(src),
+				TraceSeed:  9,
+				InputSeed:  1,
+				Params:     specParams(p),
+			},
+			Run: func() (any, error) { return runEnvironmentPoint(b, p, src) },
+		})
+	}
+	rows, err := runSweep[EnvironmentRow](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("environment study: %w", err)
+	}
+	return rows, nil
+}
+
+func runEnvironmentPoint(b *workloads.Benchmark, p workloads.Params, src energy.SourceKind) (EnvironmentRow, error) {
 	in := b.Inputs(p, 1)
 	golden := b.Golden(p, in)
 	precise, err := PreciseVariant(b, p).Compile()
 	if err != nil {
-		return nil, err
+		return EnvironmentRow{}, err
 	}
 	wn, err := WNVariant(b, p, 4).Compile()
 	if err != nil {
-		return nil, err
+		return EnvironmentRow{}, err
 	}
-	var rows []EnvironmentRow
-	for _, src := range energy.Sources() {
-		trace := energy.TraceFor(src, 9, energy.DefaultTraceConfig())
-		row := EnvironmentRow{Source: src, MeanPowerUW: 1e6 * trace.MeanPower()}
+	trace := energy.TraceFor(src, 9, energy.DefaultTraceConfig())
+	row := EnvironmentRow{Source: src, MeanPowerUW: 1e6 * trace.MeanPower()}
 
-		runOne := func(c *compiler.Compiled) (uint64, []float64, uint64, float64, error) {
-			sys := core.NewSystem(core.DefaultConfig(), trace)
-			if err := sys.Load(c); err != nil {
-				return 0, nil, 0, 0, err
-			}
-			sys.Runner.MaxCycles = livelockBudget
-			res, err := sys.RunInput(in)
-			if err != nil {
-				return 0, nil, 0, 0, err
-			}
-			out, err := sys.Output(b.Output)
-			duty := 100 * float64(res.CyclesOn) / float64(res.TotalCycles())
-			return res.TotalCycles(), out, res.Outages, duty, err
+	runOne := func(c *compiler.Compiled) (uint64, []float64, uint64, float64, error) {
+		sys := core.NewSystem(core.DefaultConfig(), trace)
+		if err := sys.Load(c); err != nil {
+			return 0, nil, 0, 0, err
 		}
-		pc, _, _, duty, err := runOne(precise)
+		sys.Runner.MaxCycles = livelockBudget
+		res, err := sys.RunInput(in)
 		if err != nil {
-			return nil, err
+			return 0, nil, 0, 0, err
 		}
-		wc, wout, outages, _, err := runOne(wn)
-		if err != nil {
-			return nil, err
-		}
-		row.DutyPct = duty
-		row.Speedup = float64(pc) / float64(wc)
-		row.NRMSE = quality.NRMSE(wout, golden)
-		row.Outages = outages
-		rows = append(rows, row)
+		out, err := sys.Output(b.Output)
+		duty := 100 * float64(res.CyclesOn) / float64(res.TotalCycles())
+		return res.TotalCycles(), out, res.Outages, duty, err
 	}
-	return rows, nil
+	pc, _, _, duty, err := runOne(precise)
+	if err != nil {
+		return EnvironmentRow{}, err
+	}
+	wc, wout, outages, _, err := runOne(wn)
+	if err != nil {
+		return EnvironmentRow{}, err
+	}
+	row.DutyPct = duty
+	row.Speedup = float64(pc) / float64(wc)
+	row.NRMSE = quality.NRMSE(wout, golden)
+	row.Outages = outages
+	return row, nil
 }
 
 // PrintEnvironments renders the study.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"whatsnext/internal/mem"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
 
@@ -30,6 +31,11 @@ type QualityCurve struct {
 // baseline (the >1 tail of each Figure 9 curve).
 func (q QualityCurve) FinalOverhead() float64 {
 	return float64(q.FinalCycles) / float64(q.BaselineCycles)
+}
+
+// SimulatedCycles reports the curve's run length for sweep accounting.
+func (q QualityCurve) SimulatedCycles() uint64 {
+	return q.BaselineCycles + q.FinalCycles
 }
 
 // EarliestAcceptable returns the first point at or below the NRMSE
@@ -105,17 +111,28 @@ func RuntimeQuality(b *workloads.Benchmark, p workloads.Params, bits int, sample
 }
 
 // Figure9 runs the runtime-quality curves for all six benchmarks at 4- and
-// 8-bit subwords.
+// 8-bit subwords. Each curve is one sweep job (a full continuous run with
+// periodic output scoring), so the twelve series collect concurrently.
 func Figure9(proto Protocol, samples int) ([]QualityCurve, error) {
-	var curves []QualityCurve
+	var jobs []sweep.Job
 	for _, b := range workloads.All() {
 		for _, bits := range []int{4, 8} {
-			c, err := RuntimeQuality(b, proto.params(b), bits, samples)
-			if err != nil {
-				return nil, fmt.Errorf("figure 9 %s/%d-bit: %w", b.Name, bits, err)
-			}
-			curves = append(curves, c)
+			p := proto.params(b)
+			jobs = append(jobs, sweep.Job{
+				Spec: sweep.Spec{
+					Experiment: "fig9",
+					Kernel:     b.Name,
+					Variant:    WNVariant(b, p, bits).String(),
+					InputSeed:  1,
+					Params:     specParams(p, "samples", itoa(samples)),
+				},
+				Run: func() (any, error) { return RuntimeQuality(b, p, bits, samples) },
+			})
 		}
+	}
+	curves, err := runSweep[QualityCurve](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 9: %w", err)
 	}
 	return curves, nil
 }

@@ -15,6 +15,7 @@ import (
 	"whatsnext/internal/energy"
 	"whatsnext/internal/mem"
 	"whatsnext/internal/quality"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
 
@@ -26,6 +27,12 @@ type Protocol struct {
 	Traces      int  // distinct harvest-trace seeds
 	Invocations int  // input seeds per trace
 	PaperScale  bool // paper-size inputs instead of scaled ones
+
+	// Engine, when non-nil, runs each study's independent simulation cells
+	// through the given sweep engine (worker pool + result cache). Nil
+	// selects a serial, uncached engine whose output is the reference: any
+	// parallel engine reproduces it byte for byte.
+	Engine *sweep.Engine
 }
 
 // DefaultProtocol returns the fast protocol used by tests and benches.

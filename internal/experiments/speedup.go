@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"whatsnext/internal/core"
+	"whatsnext/internal/energy"
 	"whatsnext/internal/quality"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
 
@@ -19,69 +21,132 @@ type SpeedupRow struct {
 	Samples   int
 }
 
+// speedupCell is the structured result of one (trace, invocation) cell:
+// both builds run to completion on the same trace, and the ratio and error
+// are aggregated afterwards.
+type speedupCell struct {
+	WNCycles      uint64
+	PreciseCycles uint64
+	NRMSE         float64
+}
+
+func (c speedupCell) SimulatedCycles() uint64 { return c.WNCycles + c.PreciseCycles }
+
 // SpeedupStudy reproduces Figure 10 (ProcClank) or Figure 11 (ProcNVP):
 // each benchmark processes inputs under harvested power on 'proto.Traces'
 // distinct synthetic Wi-Fi traces with 'proto.Invocations' input seeds.
 // The WN build takes its result as-is at the first outage past a skim
 // point; the precise build must resume across outages until exact
 // completion. Speedup compares wall-clock completion times per input.
+//
+// Every (benchmark, bits, trace, invocation) cell is an independent job;
+// the whole study is submitted to the sweep engine as one batch so all
+// cells across all benchmarks run concurrently.
 func SpeedupStudy(proc core.Processor, proto Protocol) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
+	type group struct {
+		b    *workloads.Benchmark
+		bits int
+		n    int
+	}
+	var jobs []sweep.Job
+	var groups []group
 	for _, b := range workloads.All() {
 		p := proto.params(b)
 		for _, bits := range []int{8, 4} {
-			row, err := speedupOne(proc, b, p, bits, proto)
-			if err != nil {
-				return nil, fmt.Errorf("speedup %s/%d-bit on %s: %w", b.Name, bits, proc, err)
-			}
-			rows = append(rows, row)
+			gj := speedupJobs(proc, b, p, bits, proto)
+			groups = append(groups, group{b, bits, len(gj)})
+			jobs = append(jobs, gj...)
 		}
+	}
+	cells, err := runSweep[speedupCell](proto.engine(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("speedup on %s: %w", proc, err)
+	}
+	var rows []SpeedupRow
+	off := 0
+	for _, g := range groups {
+		rows = append(rows, speedupRow(g.b, g.bits, cells[off:off+g.n]))
+		off += g.n
 	}
 	return rows, nil
 }
 
-func speedupOne(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) (SpeedupRow, error) {
-	wn, err := WNVariant(b, p, bits).Compile()
-	if err != nil {
-		return SpeedupRow{}, err
-	}
-	precise, err := PreciseVariant(b, p).Compile()
-	if err != nil {
-		return SpeedupRow{}, err
-	}
-	var speedups, errors []float64
+// speedupJobs enumerates the (trace, invocation) cells of one bar pair.
+func speedupJobs(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) []sweep.Job {
+	var jobs []sweep.Job
 	for t := 0; t < proto.Traces; t++ {
 		traceSeed := int64(1000 + 17*t)
 		for inv := 0; inv < proto.Invocations; inv++ {
 			inputSeed := int64(1 + inv)
-			in := b.Inputs(p, inputSeed)
-			golden := b.Golden(p, in)
-
-			wnSys := intermittentSystem(proc, traceSeed, false)
-			if err := wnSys.Load(wn); err != nil {
-				return SpeedupRow{}, err
-			}
-			wnRes, err := wnSys.RunInput(in)
-			if err != nil {
-				return SpeedupRow{}, err
-			}
-			wnOut, err := wnSys.Output(b.Output)
-			if err != nil {
-				return SpeedupRow{}, err
-			}
-
-			prSys := intermittentSystem(proc, traceSeed, false)
-			if err := prSys.Load(precise); err != nil {
-				return SpeedupRow{}, err
-			}
-			prRes, err := prSys.RunInput(in)
-			if err != nil {
-				return SpeedupRow{}, err
-			}
-
-			speedups = append(speedups, float64(prRes.TotalCycles())/float64(wnRes.TotalCycles()))
-			errors = append(errors, quality.NRMSE(wnOut, golden))
+			jobs = append(jobs, sweep.Job{
+				Spec: sweep.Spec{
+					Experiment: "speedup",
+					Kernel:     b.Name,
+					Variant:    WNVariant(b, p, bits).String(),
+					Processor:  proc.String(),
+					Source:     string(energy.SourceWiFi),
+					TraceSeed:  traceSeed,
+					InputSeed:  inputSeed,
+					Params:     specParams(p),
+				},
+				Run: func() (any, error) {
+					return runSpeedupCell(proc, b, p, bits, traceSeed, inputSeed)
+				},
+			})
 		}
+	}
+	return jobs
+}
+
+// runSpeedupCell simulates one cell: the WN and precise builds on the same
+// seeded trace and input. It is self-contained (compiles its own binaries)
+// so cells can run on any worker.
+func runSpeedupCell(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, traceSeed, inputSeed int64) (speedupCell, error) {
+	wn, err := WNVariant(b, p, bits).Compile()
+	if err != nil {
+		return speedupCell{}, err
+	}
+	precise, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return speedupCell{}, err
+	}
+	in := b.Inputs(p, inputSeed)
+	golden := b.Golden(p, in)
+
+	wnSys := intermittentSystem(proc, traceSeed, false)
+	if err := wnSys.Load(wn); err != nil {
+		return speedupCell{}, err
+	}
+	wnRes, err := wnSys.RunInput(in)
+	if err != nil {
+		return speedupCell{}, err
+	}
+	wnOut, err := wnSys.Output(b.Output)
+	if err != nil {
+		return speedupCell{}, err
+	}
+
+	prSys := intermittentSystem(proc, traceSeed, false)
+	if err := prSys.Load(precise); err != nil {
+		return speedupCell{}, err
+	}
+	prRes, err := prSys.RunInput(in)
+	if err != nil {
+		return speedupCell{}, err
+	}
+	return speedupCell{
+		WNCycles:      wnRes.TotalCycles(),
+		PreciseCycles: prRes.TotalCycles(),
+		NRMSE:         quality.NRMSE(wnOut, golden),
+	}, nil
+}
+
+// speedupRow aggregates a bar pair's cells into the published medians.
+func speedupRow(b *workloads.Benchmark, bits int, cells []speedupCell) SpeedupRow {
+	var speedups, errors []float64
+	for _, c := range cells {
+		speedups = append(speedups, float64(c.PreciseCycles)/float64(c.WNCycles))
+		errors = append(errors, c.NRMSE)
 	}
 	return SpeedupRow{
 		Benchmark: b.Name,
@@ -89,7 +154,16 @@ func speedupOne(proc core.Processor, b *workloads.Benchmark, p workloads.Params,
 		Speedup:   quality.Median(speedups),
 		NRMSE:     quality.Median(errors),
 		Samples:   len(speedups),
-	}, nil
+	}
+}
+
+// speedupOne runs a single bar pair through the engine (used by tests).
+func speedupOne(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) (SpeedupRow, error) {
+	cells, err := runSweep[speedupCell](proto.engine(), speedupJobs(proc, b, p, bits, proto))
+	if err != nil {
+		return SpeedupRow{}, fmt.Errorf("speedup %s/%d-bit on %s: %w", b.Name, bits, proc, err)
+	}
+	return speedupRow(b, bits, cells), nil
 }
 
 // SpeedupSummary averages the per-benchmark rows for one subword size, as

@@ -1,0 +1,99 @@
+// Package sweep is the simulation-job engine under the experiment harness:
+// a deterministic worker pool that fans independent, seeded simulations out
+// across cores, a content-addressed result cache that lets repeated wnbench
+// runs skip already-simulated cells, and an observability layer (per-job
+// wall time, simulated cycles, cache hit/miss counters, queue depth, and a
+// progress callback).
+//
+// The determinism contract: a Job's Spec fully identifies its simulation —
+// kernel, variant, processor, harvest source, trace seed, input seed, and
+// any extra knobs — and the Run closure is a pure function of that spec
+// (every RNG it uses is seeded from spec fields; no shared mutable state).
+// Results are JSON-encoded once, collected in submission order, and returned
+// as raw bytes, so the output of Engine.Run is bit-identical at any worker
+// count, and a cached byte slice is indistinguishable from a fresh run.
+// The cache key is a SHA-256 over the canonical encoding of the Spec, which
+// is exactly why the key is sound: same spec, same bytes, always.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// specVersion is folded into every hash so that incompatible changes to the
+// result encoding or simulation semantics can invalidate old caches by
+// bumping one string.
+const specVersion = "wnsweep/v1"
+
+// Spec identifies one simulation cell. Every field that influences the
+// result must appear here (directly or via Params); the engine hashes the
+// canonical JSON encoding to key the result cache.
+type Spec struct {
+	// Experiment names the study this cell belongs to ("speedup", "fig9",
+	// "ablation/watchdog", ...).
+	Experiment string `json:"experiment"`
+	// Kernel is the benchmark name (Table I), when applicable.
+	Kernel string `json:"kernel,omitempty"`
+	// Variant is the compiled configuration ("Conv2d/swp4", "Var/precise").
+	Variant string `json:"variant,omitempty"`
+	// Processor is the forward-progress runtime ("clank", "nvp", "undolog").
+	Processor string `json:"processor,omitempty"`
+	// Source is the harvest environment ("wifi", "solar", ...).
+	Source string `json:"source,omitempty"`
+	// TraceSeed seeds the synthetic harvest trace.
+	TraceSeed int64 `json:"trace_seed,omitempty"`
+	// InputSeed seeds the benchmark's input generator.
+	InputSeed int64 `json:"input_seed,omitempty"`
+	// Params carries any remaining knobs (workload sizes, watchdog cycles,
+	// capacitance, sample counts) as canonical strings. encoding/json
+	// serializes map keys in sorted order, keeping the encoding stable.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Canonical returns the stable byte encoding of the spec that the cache key
+// is computed over.
+func (s Spec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec contains only strings, ints and a string map; Marshal
+		// cannot fail on it.
+		panic("sweep: unmarshalable spec: " + err.Error())
+	}
+	return append([]byte(specVersion+"\n"), b...)
+}
+
+// Hash returns the content address of the spec: a hex SHA-256 of the
+// canonical encoding. It is the cache key and the determinism fingerprint.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders a compact human-readable label for progress lines.
+func (s Spec) String() string {
+	out := s.Experiment
+	if s.Variant != "" {
+		out += " " + s.Variant
+	} else if s.Kernel != "" {
+		out += " " + s.Kernel
+	}
+	return out
+}
+
+// Job pairs a spec with the closure that simulates it. Run must be a pure
+// function of the spec: it returns a JSON-marshalable result (typically a
+// small struct of cycle counts and error metrics) computed only from seeded
+// state. If the result implements CycleReporter, the engine accounts its
+// simulated cycles in the metrics.
+type Job struct {
+	Spec Spec
+	Run  func() (any, error)
+}
+
+// CycleReporter lets a job result report how many simulated device cycles
+// it covered, for the engine's throughput accounting.
+type CycleReporter interface {
+	SimulatedCycles() uint64
+}
