@@ -4,6 +4,7 @@
 //
 //	wnasm build prog.s            # assemble; writes prog.bin
 //	wnasm build -o out.bin prog.s
+//	wnasm build -lint prog.s      # assemble and statically verify
 //	wnasm dis prog.bin            # disassemble to stdout
 //	wnasm run prog.s              # assemble and run under continuous power
 package main
@@ -18,6 +19,7 @@ import (
 	"whatsnext/internal/cpu"
 	"whatsnext/internal/isa"
 	"whatsnext/internal/mem"
+	"whatsnext/internal/wncheck"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	out := fs.String("o", "", "output file (build)")
 	maxInst := fs.Uint64("max-inst", 100_000_000, "instruction budget (run)")
+	lint := fs.Bool("lint", false, "run the static verifier after assembling (build, run)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -39,11 +42,11 @@ func main() {
 	var err error
 	switch cmd {
 	case "build":
-		err = build(file, *out)
+		err = build(file, *out, *lint)
 	case "dis":
 		err = dis(file)
 	case "run":
-		err = run(file, *maxInst)
+		err = run(file, *maxInst, *lint)
 	default:
 		usage()
 	}
@@ -54,18 +57,39 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wnasm build|dis|run [-o out.bin] [-max-inst N] file")
+	fmt.Fprintln(os.Stderr, "usage: wnasm build|dis|run [-o out.bin] [-max-inst N] [-lint] file")
 	os.Exit(2)
 }
 
-func build(file, out string) error {
+// verify runs the static checker over an assembled program and reports its
+// findings; an error is returned when any finding is warning-or-worse.
+func verify(file string, p *asm.Program) error {
+	res, err := wncheck.Check(p, wncheck.Options{})
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Diags {
+		fmt.Fprintln(os.Stderr, d.Format(file))
+	}
+	if n := res.Count(wncheck.Warning); n > 0 {
+		return fmt.Errorf("%s: %d lint findings", file, n)
+	}
+	return nil
+}
+
+func build(file, out string, lint bool) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
-	p, err := asm.Assemble(string(src))
+	p, err := asm.AssembleNamed(file, string(src))
 	if err != nil {
 		return err
+	}
+	if lint {
+		if err := verify(file, p); err != nil {
+			return err
+		}
 	}
 	if out == "" {
 		out = strings.TrimSuffix(file, ".s") + ".bin"
@@ -87,14 +111,19 @@ func dis(file string) error {
 	return nil
 }
 
-func run(file string, maxInst uint64) error {
+func run(file string, maxInst uint64, lint bool) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
-	p, err := asm.Assemble(string(src))
+	p, err := asm.AssembleNamed(file, string(src))
 	if err != nil {
 		return err
+	}
+	if lint {
+		if err := verify(file, p); err != nil {
+			return err
+		}
 	}
 	m := mem.New(mem.DefaultConfig())
 	if err := m.LoadProgram(p.Image); err != nil {

@@ -1,0 +1,103 @@
+// Command wnlint statically verifies WN programs.
+//
+// It assembles each .s argument (or loads each .bin as a raw image), runs
+// the internal/wncheck verifier over it, and prints one diagnostic per line
+// in file:line: form. The exit status is 1 when any file produced a
+// diagnostic at warning severity or above, 2 on usage or I/O errors.
+//
+// Usage:
+//
+//	wnlint [-info] [-skim auto|require|off] [-disable WN101,WN401] file.s ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/wncheck"
+)
+
+func main() {
+	fs := flag.NewFlagSet("wnlint", flag.ExitOnError)
+	info := fs.Bool("info", false, "also report info-severity findings (WN102, WN901, WN902)")
+	skim := fs.String("skim", "auto", "skim-placement policy: auto, require, or off")
+	disable := fs.String("disable", "", "comma-separated diagnostic codes to suppress")
+	stats := fs.Bool("stats", false, "print per-file analysis statistics")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: wnlint [-info] [-skim auto|require|off] [-disable codes] [-stats] file.s|file.bin ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	opts := wncheck.Options{Info: *info}
+	switch *skim {
+	case "auto":
+		opts.Skim = wncheck.SkimAuto
+	case "require":
+		opts.Skim = wncheck.SkimRequire
+	case "off":
+		opts.Skim = wncheck.SkimOff
+	default:
+		fmt.Fprintf(os.Stderr, "wnlint: unknown skim policy %q\n", *skim)
+		os.Exit(2)
+	}
+	if *disable != "" {
+		opts.Disable = strings.Split(*disable, ",")
+	}
+
+	failed := false
+	for _, file := range fs.Args() {
+		res, err := lint(file, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wnlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range res.Diags {
+			fmt.Println(d.Format(file))
+		}
+		if *stats {
+			fmt.Printf("%s: %d instructions, %d blocks, %d loops, %d unreachable\n",
+				file, res.NumInstructions, res.NumBlocks, res.NumLoops, res.UnreachableIns)
+		}
+		if res.Count(wncheck.Warning) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lint loads one file — assembling .s sources, treating anything else as a
+// raw program image — and verifies it.
+func lint(file string, opts wncheck.Options) (*wncheck.Result, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var p *asm.Program
+	if strings.HasSuffix(file, ".s") {
+		p, err = asm.AssembleNamed(file, string(data))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p = &asm.Program{Image: data}
+		// A raw image carries no .amenable marks, so the skim-placement
+		// checks would flag every skim point as unjustified. Leave them to
+		// an explicit -skim require.
+		if opts.Skim == wncheck.SkimAuto {
+			opts.Skim = wncheck.SkimOff
+		}
+	}
+	return wncheck.Check(p, opts)
+}

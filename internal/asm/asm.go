@@ -22,6 +22,7 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -36,6 +37,8 @@ type Program struct {
 	Labels   map[string]uint32 // label name -> absolute byte address
 	Amenable []uint32          // absolute addresses of WN-amenable instructions
 	Source   []string          // one source line per instruction word (for diagnostics)
+	Lines    []int             // 1-based source line per instruction word (for diagnostics)
+	File     string            // source file name, when assembled via AssembleNamed
 }
 
 // AmenableSet returns the amenable addresses as a lookup set for the CPU.
@@ -47,13 +50,20 @@ func (p *Program) AmenableSet() map[uint32]bool {
 	return s
 }
 
-// Error is an assembly diagnostic with a line number.
+// Error is an assembly diagnostic with a line number and, when the source
+// came in through AssembleNamed, the file it was read from.
 type Error struct {
+	File string
 	Line int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("asm: %s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
 
 func errf(line int, format string, args ...any) error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
@@ -65,6 +75,22 @@ type item struct {
 	amenable bool
 	rawWord  uint32
 	isRaw    bool
+}
+
+// AssembleNamed assembles source text read from the named file. The name is
+// recorded on the Program and attached to every diagnostic, so errors render
+// as "asm: file.s:12: ...".
+func AssembleNamed(file, src string) (*Program, error) {
+	p, err := Assemble(src)
+	if err != nil {
+		var ae *Error
+		if errors.As(err, &ae) {
+			ae.File = file
+		}
+		return nil, err
+	}
+	p.File = file
+	return p, nil
 }
 
 // Assemble translates source text into a Program.
@@ -124,6 +150,7 @@ func Assemble(src string) (*Program, error) {
 		if it.isRaw {
 			p.Image = appendWord(p.Image, it.rawWord)
 			p.Source = append(p.Source, fmt.Sprintf(".word %#x", it.rawWord))
+			p.Lines = append(p.Lines, it.line)
 			continue
 		}
 		in, err := parseInstruction(it.text, it.line, addr, labels)
@@ -139,6 +166,7 @@ func Assemble(src string) (*Program, error) {
 		}
 		p.Image = appendWord(p.Image, uint32(w))
 		p.Source = append(p.Source, it.text)
+		p.Lines = append(p.Lines, it.line)
 	}
 	return p, nil
 }

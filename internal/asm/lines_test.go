@@ -1,0 +1,84 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Every emitted word — instructions and raw .word data alike — carries the
+// 1-based source line it came from.
+func TestLineTable(t *testing.T) {
+	src := `; leading comment
+
+	MOVI R0, #1          ; line 3
+loop:                        ; line 4, label only
+	ADDI R0, R0, #1      ; line 5
+.word 0xDEADBEEF             ; line 6
+	.amenable
+	MUL_ASP8 R0, R1, #0  ; line 8
+	HALT                 ; line 9
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 5, 6, 8, 9}
+	if len(p.Lines) != len(want) || len(p.Source) != len(want) {
+		t.Fatalf("lines = %v, source = %d entries, want %d", p.Lines, len(p.Source), len(want))
+	}
+	for i, ln := range want {
+		if p.Lines[i] != ln {
+			t.Errorf("word %d: line %d, want %d", i, p.Lines[i], ln)
+		}
+	}
+}
+
+// Assembly diagnostics name the file and line when the source came in via
+// AssembleNamed, covering every error path: lexing, operand parsing, label
+// resolution, and encoding.
+func TestAssembleNamedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+	}{
+		{"unknown mnemonic", "\tFROB R0, R1\n", 1},
+		{"bad operand", "\tMOVI R0, !!\n", 1},
+		{"undefined label", "\tMOVI R0, #1\n\tB nowhere\n", 2},
+		{"bad word directive", ".word zzz\n", 1},
+		{"encode range", "\tMOVI R0, #1\n\tMOVI R0, #100000\n", 2},
+		{"duplicate label", "a:\n\tHALT\na:\n\tHALT\n", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := AssembleNamed("prog.s", tc.src)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var ae *Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("error %v is not an *asm.Error", err)
+			}
+			if ae.File != "prog.s" {
+				t.Errorf("file = %q, want prog.s", ae.File)
+			}
+			if ae.Line != tc.line {
+				t.Errorf("line = %d, want %d (%v)", ae.Line, tc.line, err)
+			}
+			if !strings.Contains(err.Error(), "prog.s:") {
+				t.Errorf("message %q does not name the file", err.Error())
+			}
+		})
+	}
+}
+
+func TestAssembleNamedRecordsFile(t *testing.T) {
+	p, err := AssembleNamed("x.s", "\tHALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.File != "x.s" {
+		t.Errorf("file = %q, want x.s", p.File)
+	}
+}

@@ -21,6 +21,7 @@
 loop_msb:
 	LDRH R6, [R0, #0]   ; F[i]
 	LDRB R7, [R1, #1]   ; A[i][MSb]
+	.amenable
 	MUL_ASP8 R6, R7, #1
 	ADD R5, R5, R6
 	ADDI R0, R0, #2
@@ -37,6 +38,7 @@ loop_msb:
 loop_lsb:
 	LDRH R6, [R0, #0]
 	LDRB R7, [R1, #0]   ; A[i][LSb]
+	.amenable
 	MUL_ASP8 R6, R7, #0
 	ADD R5, R5, R6
 	ADDI R0, R0, #2

@@ -87,6 +87,9 @@ func Compile(k *Kernel, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compiler: %s: assembling generated code: %w", k.Name, err)
 	}
+	if err := verifyEmitted(k.Name, prog); err != nil {
+		return nil, err
+	}
 	return &Compiled{
 		Kernel:      target,
 		Options:     opts,

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"whatsnext/internal/asm"
 	"whatsnext/internal/isa"
+	"whatsnext/internal/wncheck"
 )
 
 // emitter accumulates assembly text with fresh-label support.
@@ -57,4 +59,28 @@ func (ra *regalloc) release(r isa.Reg) {
 	if int(r) < len(ra.inUse) {
 		ra.inUse[r] = false
 	}
+}
+
+// verifyEmitted runs the static verifier over a freshly assembled program.
+// Error-severity findings in generated code are compiler bugs, so they fail
+// the compilation; warnings and info findings are left to wnlint.
+func verifyEmitted(name string, prog *asm.Program) error {
+	res, err := wncheck.Check(prog, wncheck.Options{})
+	if err != nil {
+		return fmt.Errorf("compiler: %s: verifying generated code: %w", name, err)
+	}
+	errs := res.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "compiler: %s: generated code fails static verification (%d errors)", name, len(errs))
+	for i, d := range errs {
+		if i == 3 {
+			fmt.Fprintf(&b, "; and %d more", len(errs)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; %s", d)
+	}
+	return fmt.Errorf("%s", b.String())
 }

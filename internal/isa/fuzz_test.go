@@ -1,0 +1,89 @@
+package isa
+
+import "testing"
+
+// FuzzEncodeDecode checks the two encoding round-trip invariants:
+//
+//  1. Any word that decodes either re-encodes to exactly the same word, or
+//     is rejected by Encode (a word carrying payload bits the instruction
+//     cannot express, e.g. immediate bits on a register-form ALU op).
+//  2. Any Instruction that encodes must decode back to an identical
+//     Instruction (the image is the source of truth for the verifier and
+//     disassembler, so encoding must never lose a field).
+//
+// The raw word drives property 1; the unpacked fields drive property 2.
+func FuzzEncodeDecode(f *testing.F) {
+	// One seed per operand-encoding class, plus edge immediates.
+	seeds := []Instruction{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMovI, Rd: 3, Imm: 0xFFFF},            // unsigned 16-bit imm
+		{Op: OpMovTI, Rd: 3, Imm: 0x1000},           // high-half move
+		{Op: OpMov, Rd: 1, Rm: 2},                   // register form
+		{Op: OpAdd, Rd: 1, Rn: 2, Rm: 3},            // three-register ALU
+		{Op: OpAddI, Rd: 1, Rn: 2, Imm: -(1 << 15)}, // signed imm, min
+		{Op: OpSubIS, Rd: 4, Rn: 4, Imm: 1},         // flag-setting sub
+		{Op: OpCmpI, Rn: 5, Imm: 1<<15 - 1},         // signed imm, max
+		{Op: OpLdr, Rd: 6, Rn: 7, Imm: 64},          // imm-offset load
+		{Op: OpStrbX, Rd: 6, Rn: 7, Rm: 8},          // reg-offset store
+		{Op: OpB, Imm: -8},                          // backward branch
+		{Op: OpBl, Imm: 400},                        // call
+		{Op: OpBx, Rm: 14},                          // indirect through LR
+		{Op: OpSkm, Imm: 0x120},                     // absolute skim target
+		{Op: OpMulASP8, Rd: 9, Rm: 10, Imm: 3},      // subword multiply
+		{Op: OpMulASP3, Rd: 9, Rm: 10, Imm: 9},      // odd subword width
+		{Op: OpAddASV16, Rd: 11, Rm: 12},            // vector lanes
+		{Op: OpSubASV4, Rd: 0, Rm: 1},               // vector lanes
+		{Op: OpMulASP1, Rd: 2, Rm: 3, Imm: 31},      // max position
+	}
+	for _, in := range seeds {
+		w, err := Encode(in)
+		if err != nil {
+			f.Fatalf("seed %v does not encode: %v", in, err)
+		}
+		f.Add(uint32(w), uint8(in.Op), uint8(in.Rd), uint8(in.Rn), uint8(in.Rm), in.Imm)
+	}
+	// Undecodable and payload-carrying raw words.
+	f.Add(uint32(0xFF000000), uint8(0), uint8(0), uint8(0), uint8(0), int32(0))
+	f.Add(uint32(0x05120230), uint8(0xFF), uint8(15), uint8(15), uint8(15), int32(-1))
+
+	f.Fuzz(func(t *testing.T, word uint32, op, rd, rn, rm uint8, imm int32) {
+		// Property 1: decode(word) -> encode is the identity or a rejection.
+		if in, err := Decode(Word(word)); err == nil {
+			back, err := Encode(in)
+			if err == nil && uint32(back) != word {
+				t.Errorf("decode(%#08x) = %v re-encodes to %#08x", word, in, uint32(back))
+			}
+			// Decoded instructions always carry in-range register fields.
+			if in.Rd >= NumRegs || in.Rn >= NumRegs || in.Rm >= NumRegs {
+				t.Errorf("decode(%#08x) = %v has an out-of-range register", word, in)
+			}
+		}
+
+		// Property 2: encode(in) -> decode is the identity.
+		in := Instruction{Op: Opcode(op), Rd: Reg(rd), Rn: Reg(rn), Rm: Reg(rm), Imm: imm}
+		w, err := Encode(in)
+		if err != nil {
+			return
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("encode(%v) = %#08x does not decode: %v", in, uint32(w), err)
+		}
+		// Fields the encoding has no slot for decode as zero: Rm on
+		// immediate-form instructions, and the immediate on register-form
+		// instructions (except MUL_ASP, which packs both). Everything else
+		// must round-trip exactly.
+		norm := in
+		if opTable[in.Op].hasRm {
+			if in.Op.ASPBits() == 0 {
+				norm.Imm = 0
+			}
+		} else {
+			norm.Rm = 0
+		}
+		if got != norm {
+			t.Errorf("decode(encode(%v)) = %v", in, got)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package wncheck
+
+import (
+	"whatsnext/internal/isa"
+)
+
+// usesOf returns the registers an instruction reads.
+func usesOf(in isa.Instruction) []isa.Reg {
+	op := in.Op
+	switch {
+	case op == isa.OpNop || op == isa.OpHalt || op == isa.OpSkm ||
+		op == isa.OpMovI || op == isa.OpBl ||
+		(op.IsBranch() && op != isa.OpBx):
+		return nil
+	case op == isa.OpBx:
+		return []isa.Reg{in.Rm}
+	case op == isa.OpMov:
+		return []isa.Reg{in.Rm}
+	case op == isa.OpMovTI:
+		return []isa.Reg{in.Rd}
+	case op == isa.OpCmp:
+		return []isa.Reg{in.Rn, in.Rm}
+	case op == isa.OpCmpI:
+		return []isa.Reg{in.Rn}
+	case op.ASPBits() > 0 || op.ASVLane() > 0:
+		// Anytime instructions read and write Rd.
+		return []isa.Reg{in.Rd, in.Rm}
+	case op.IsLoad():
+		if op.HasRm() {
+			return []isa.Reg{in.Rn, in.Rm}
+		}
+		return []isa.Reg{in.Rn}
+	case op.IsStore():
+		if op.HasRm() {
+			return []isa.Reg{in.Rd, in.Rn, in.Rm}
+		}
+		return []isa.Reg{in.Rd, in.Rn}
+	case op.HasRm():
+		return []isa.Reg{in.Rn, in.Rm}
+	default: // immediate-form ALU, SUBIS
+		return []isa.Reg{in.Rn}
+	}
+}
+
+// defOf returns the register an instruction writes, if any.
+func defOf(in isa.Instruction) (isa.Reg, bool) {
+	op := in.Op
+	switch {
+	case op == isa.OpNop || op == isa.OpHalt || op == isa.OpSkm ||
+		op == isa.OpCmp || op == isa.OpCmpI || op.IsStore() ||
+		op == isa.OpBx || (op.IsBranch() && op != isa.OpBl):
+		return 0, false
+	case op == isa.OpBl:
+		return isa.LR, true
+	default:
+		return in.Rd, true
+	}
+}
+
+type regSet uint16
+
+func (s regSet) has(r isa.Reg) bool { return s&(1<<r) != 0 }
+func (s *regSet) add(r isa.Reg)     { *s |= 1 << r }
+func (s *regSet) remove(r isa.Reg)  { *s &^= 1 << r }
+
+const allRegs regSet = 0xFFFF
+
+// runLiveness computes backward may-liveness over the CFG and reports
+// register writes whose value can never be read (WN901, info).
+func (c *checker) runLiveness() {
+	// Liveness only feeds info diagnostics; skip the pass when info
+	// output is off.
+	if len(c.blocks) == 0 || !c.opts.Info {
+		return
+	}
+	liveIn := make([]regSet, len(c.blocks))
+	liveOut := make([]regSet, len(c.blocks))
+
+	transfer := func(b *block, out regSet) regSet {
+		live := out
+		for i := b.end - 1; i >= b.start; i-- {
+			ins := c.ins[i]
+			if !ins.ok {
+				continue
+			}
+			if ins.in.Op == isa.OpBx {
+				// Indirect branch: the continuation is unknown, assume
+				// everything is live.
+				live = allRegs
+			}
+			if d, ok := defOf(ins.in); ok {
+				live.remove(d)
+			}
+			for _, u := range usesOf(ins.in) {
+				live.add(u)
+			}
+		}
+		return live
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for id := len(c.blocks) - 1; id >= 0; id-- {
+			b := c.blocks[id]
+			var out regSet
+			for _, s := range b.succs {
+				out |= liveIn[s]
+			}
+			if len(b.succs) == 0 && b.end > b.start {
+				if last := c.ins[b.end-1]; last.ok && last.in.Op == isa.OpBx {
+					out = allRegs
+				}
+			}
+			in := transfer(b, out)
+			if in != liveIn[id] || out != liveOut[id] {
+				liveIn[id], liveOut[id] = in, out
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range c.blocks {
+		if !b.reachable {
+			continue
+		}
+		live := liveOut[b.id]
+		// Walk backwards, checking each definition against the liveness
+		// just after it.
+		type defSite struct {
+			idx int
+			reg isa.Reg
+		}
+		var dead []defSite
+		for i := b.end - 1; i >= b.start; i-- {
+			ins := c.ins[i]
+			if !ins.ok {
+				continue
+			}
+			if ins.in.Op == isa.OpBx {
+				live = allRegs
+			}
+			if d, ok := defOf(ins.in); ok {
+				if !live.has(d) && d != isa.PC {
+					dead = append(dead, defSite{i, d})
+				}
+				live.remove(d)
+			}
+			for _, u := range usesOf(ins.in) {
+				live.add(u)
+			}
+		}
+		for j := len(dead) - 1; j >= 0; j-- {
+			c.report(CodeDeadWrite, Info, dead[j].idx,
+				"value written to %s is never read", dead[j].reg)
+		}
+	}
+}
+
+// defSet is a reaching-definitions set for one register: the instruction
+// indexes of definitions that may reach a point. Index -1 stands for the
+// boot value (no explicit definition).
+type defSet map[int]bool
+
+type reachState struct {
+	regs  [isa.NumRegs]defSet
+	valid bool
+}
+
+func (s *reachState) clone() reachState {
+	out := reachState{valid: s.valid}
+	for r, ds := range s.regs {
+		out.regs[r] = make(defSet, len(ds))
+		for k := range ds {
+			out.regs[r][k] = true
+		}
+	}
+	return out
+}
+
+func (s *reachState) merge(o *reachState) bool {
+	if !o.valid {
+		return false
+	}
+	if !s.valid {
+		*s = o.clone()
+		return true
+	}
+	changed := false
+	for r := range s.regs {
+		for k := range o.regs[r] {
+			if !s.regs[r][k] {
+				s.regs[r][k] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// runReaching computes reaching definitions and reports register reads
+// whose reaching definitions include the boot value — code depending on
+// registers it never wrote (WN902, info).
+func (c *checker) runReaching() {
+	if len(c.blocks) == 0 || !c.opts.Info {
+		return
+	}
+	states := make([]reachState, len(c.blocks))
+	entry := reachState{valid: true}
+	for r := range entry.regs {
+		entry.regs[r] = defSet{-1: true}
+	}
+	// SP is established by the boot sequence; treat it as defined.
+	entry.regs[isa.SP] = defSet{-2: true}
+	states[0] = entry
+
+	step := func(s *reachState, i int, check bool) {
+		ins := c.ins[i]
+		if !ins.ok {
+			return
+		}
+		if check {
+			for _, u := range usesOf(ins.in) {
+				if s.regs[u][-1] {
+					c.report(CodeUninitRead, Info, i,
+						"%s may be read before it is written (it holds the boot value 0)", u)
+				}
+			}
+		}
+		if ins.in.Op == isa.OpBl {
+			// The callee may define anything.
+			for r := range s.regs {
+				s.regs[r] = defSet{i: true}
+			}
+			return
+		}
+		if d, ok := defOf(ins.in); ok {
+			s.regs[d] = defSet{i: true}
+		}
+	}
+
+	work := []int{0}
+	inWork := make([]bool, len(c.blocks))
+	inWork[0] = true
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		b := c.blocks[id]
+		s := states[id].clone()
+		for i := b.start; i < b.end; i++ {
+			step(&s, i, false)
+		}
+		for _, succ := range b.succs {
+			if states[succ].merge(&s) && !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+
+	for _, b := range c.blocks {
+		if !b.reachable || !states[b.id].valid {
+			continue
+		}
+		s := states[b.id].clone()
+		for i := b.start; i < b.end; i++ {
+			step(&s, i, true)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package wncheck
+
+import (
+	"whatsnext/internal/asm"
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+)
+
+// instr is one decoded image word with its static annotations.
+type instr struct {
+	addr uint32
+	word uint32
+	in   isa.Instruction
+	ok   bool // word decodes to a valid instruction
+	amen bool // marked .amenable by the assembler
+}
+
+// block is a basic block: instructions [start,end) with CFG edges.
+type block struct {
+	id         int
+	start, end int
+	succs      []int // successor block ids
+	preds      []int
+	fallsOff   bool // control can leave the image past the last instruction
+	reachable  bool
+}
+
+// checker carries all per-run analysis state.
+type checker struct {
+	prog     *asm.Program
+	opts     Options
+	disabled map[string]bool
+
+	ins      []instr
+	blocks   []*block
+	blockOf  []int // instruction index -> block id
+	loops    []loopInfo
+	numLoops int
+
+	inStates []dfState // converged forward in-state per block
+
+	diags []Diagnostic
+	seen  map[diagKey]bool
+}
+
+func (c *checker) decode() {
+	img := c.prog.Image
+	n := len(img) / isa.InstBytes
+	c.ins = make([]instr, n)
+	amen := make(map[uint32]bool, len(c.prog.Amenable))
+	for _, a := range c.prog.Amenable {
+		amen[a] = true
+	}
+	for i := 0; i < n; i++ {
+		off := i * isa.InstBytes
+		w := uint32(img[off]) | uint32(img[off+1])<<8 | uint32(img[off+2])<<16 | uint32(img[off+3])<<24
+		addr := mem.CodeBase + uint32(off)
+		in, err := isa.Decode(isa.Word(w))
+		c.ins[i] = instr{addr: addr, word: w, in: in, ok: err == nil, amen: amen[addr]}
+	}
+}
+
+// endsBlock reports whether the instruction terminates a basic block.
+func endsBlock(ins instr) bool {
+	if !ins.ok {
+		return true // a fault: control does not continue
+	}
+	switch {
+	case ins.in.Op == isa.OpHalt:
+		return true
+	case ins.in.Op.IsBranch():
+		return true
+	}
+	return false
+}
+
+// branchTargetIndex resolves a PC-relative branch to an instruction index,
+// or -1 when the target is outside the image or misaligned.
+func (c *checker) branchTargetIndex(idx int) int {
+	in := c.ins[idx].in
+	target := c.ins[idx].addr + uint32(in.Imm)
+	if target%isa.InstBytes != 0 || target < mem.CodeBase {
+		return -1
+	}
+	t := int(target-mem.CodeBase) / isa.InstBytes
+	if t < 0 || t >= len(c.ins) {
+		return -1
+	}
+	return t
+}
+
+func (c *checker) buildCFG() {
+	n := len(c.ins)
+	if n == 0 {
+		return
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, ins := range c.ins {
+		if !endsBlock(ins) {
+			continue
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+		if !ins.ok || !ins.in.Op.IsBranch() || ins.in.Op == isa.OpBx {
+			continue
+		}
+		if t := c.branchTargetIndex(i); t >= 0 {
+			leader[t] = true
+		}
+	}
+
+	c.blockOf = make([]int, n)
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			b := &block{id: len(c.blocks), start: i}
+			c.blocks = append(c.blocks, b)
+		}
+		c.blockOf[i] = len(c.blocks) - 1
+	}
+	for _, b := range c.blocks {
+		b.end = n
+		if b.id+1 < len(c.blocks) {
+			b.end = c.blocks[b.id+1].start
+		}
+	}
+
+	addEdge := func(from *block, toIdx int) {
+		to := c.blocks[c.blockOf[toIdx]]
+		from.succs = append(from.succs, to.id)
+		to.preds = append(to.preds, from.id)
+	}
+	for _, b := range c.blocks {
+		last := c.ins[b.end-1]
+		switch {
+		case !last.ok:
+			// Illegal instruction: execution faults, no successors.
+		case last.in.Op == isa.OpHalt:
+			// Terminal.
+		case last.in.Op == isa.OpBx:
+			// Indirect branch: target unknown, treated as an exit.
+		case last.in.Op == isa.OpB:
+			if t := c.branchTargetIndex(b.end - 1); t >= 0 {
+				addEdge(b, t)
+			}
+		case last.in.Op.IsBranch():
+			// Conditional branches and BL: target plus fall-through (a
+			// call is assumed to return to the next instruction).
+			if t := c.branchTargetIndex(b.end - 1); t >= 0 {
+				addEdge(b, t)
+			}
+			if b.end < len(c.ins) {
+				addEdge(b, b.end)
+			} else {
+				b.fallsOff = true
+			}
+		default:
+			if b.end < len(c.ins) {
+				addEdge(b, b.end)
+			} else {
+				b.fallsOff = true
+			}
+		}
+	}
+}
+
+func (c *checker) markReachable() {
+	if len(c.blocks) == 0 {
+		return
+	}
+	var stack []int
+	c.blocks[0].reachable = true
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		b := c.blocks[stack[len(stack)-1]]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.succs {
+			if !c.blocks[s].reachable {
+				c.blocks[s].reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// loopInfo is one natural loop discovered from a DFS back edge.
+type loopInfo struct {
+	head   int   // block id of the loop header
+	blocks []int // block ids in the loop body (including head)
+}
+
+// findLoops discovers back edges by DFS from the entry and derives the
+// natural loop of each: the header plus every node that reaches the back
+// edge source without passing through the header.
+func (c *checker) findLoops() {
+	c.loops = nil
+	if len(c.blocks) == 0 {
+		return
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(c.blocks))
+	type backEdge struct{ from, to int }
+	var backs []backEdge
+
+	var dfs func(id int)
+	dfs = func(id int) {
+		color[id] = gray
+		for _, s := range c.blocks[id].succs {
+			switch color[s] {
+			case white:
+				dfs(s)
+			case gray:
+				backs = append(backs, backEdge{from: id, to: s})
+			}
+		}
+		color[id] = black
+	}
+	dfs(0)
+
+	heads := map[int]map[int]bool{} // header -> loop body set
+	for _, be := range backs {
+		body := heads[be.to]
+		if body == nil {
+			body = map[int]bool{be.to: true}
+			heads[be.to] = body
+		}
+		// Walk predecessors back from the edge source, bounded by the header.
+		stack := []int{be.from}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body[id] {
+				continue
+			}
+			body[id] = true
+			stack = append(stack, c.blocks[id].preds...)
+		}
+	}
+	for head, body := range heads {
+		l := loopInfo{head: head}
+		for id := range body {
+			l.blocks = append(l.blocks, id)
+		}
+		c.loops = append(c.loops, l)
+	}
+	c.numLoops = len(c.loops)
+}
+
+// reachesSkim reports whether any block reachable from start (inclusive)
+// contains a decodable SKM instruction.
+func (c *checker) reachesSkim(start int) bool {
+	seen := make([]bool, len(c.blocks))
+	stack := []int{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		b := c.blocks[id]
+		for i := b.start; i < b.end; i++ {
+			if c.ins[i].ok && c.ins[i].in.Op == isa.OpSkm {
+				return true
+			}
+		}
+		stack = append(stack, b.succs...)
+	}
+	return false
+}
+
+// hasSkim reports whether any reachable instruction is a SKM.
+func (c *checker) hasSkim() bool {
+	for _, b := range c.blocks {
+		if !b.reachable {
+			continue
+		}
+		for i := b.start; i < b.end; i++ {
+			if c.ins[i].ok && c.ins[i].in.Op == isa.OpSkm {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package wncheck_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/wncheck"
+	"whatsnext/internal/workloads"
+)
+
+// TestBenchmarksClean compiles the six Table I benchmarks in every mode the
+// experiments exercise and asserts the verifier finds nothing at warning
+// severity or above. Compile itself already fails on error-severity
+// findings (the post-emit hook), so this test tightens that to warnings.
+func TestBenchmarksClean(t *testing.T) {
+	for _, b := range workloads.All() {
+		variants := []compiler.Options{
+			{Mode: compiler.ModePrecise},
+			{Mode: b.Mode},
+			{Mode: b.Mode, NoSkim: true},
+		}
+		if b.Mode == compiler.ModeSWP {
+			variants = append(variants, compiler.Options{Mode: compiler.ModeSWP, VectorLoads: true})
+		}
+		for _, opts := range variants {
+			k := b.Build(b.ScaledParams(), 8, true)
+			c, err := compiler.Compile(k, opts)
+			if err != nil {
+				// A variant can be inapplicable at the scaled size (lane or
+				// width mismatch); only verifier findings are failures.
+				if strings.Contains(err.Error(), "static verification") {
+					t.Errorf("%s %+v: %v", b.Name, opts, err)
+				}
+				continue
+			}
+			res, err := wncheck.Check(c.Program, wncheck.Options{})
+			if err != nil {
+				t.Errorf("%s %+v: check: %v", b.Name, opts, err)
+				continue
+			}
+			if n := res.Count(wncheck.Warning); n > 0 {
+				t.Errorf("%s %+v: %d diagnostics on generated code:", b.Name, opts, n)
+				for _, d := range res.Diags {
+					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}
+
+// TestHandWrittenProgramsClean lints the repository's hand-written example
+// programs, which double as documentation and must stay clean.
+func TestHandWrittenProgramsClean(t *testing.T) {
+	files, err := filepath.Glob("../asm/testdata/*.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no programs under ../asm/testdata")
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := asm.AssembleNamed(file, string(src))
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", file, err)
+		}
+		res, err := wncheck.Check(p, wncheck.Options{})
+		if err != nil {
+			t.Fatalf("%s: check: %v", file, err)
+		}
+		if n := res.Count(wncheck.Warning); n > 0 {
+			t.Errorf("%s: %d diagnostics:", file, n)
+			for _, d := range res.Diags {
+				t.Errorf("  %s", d.Format(file))
+			}
+		}
+	}
+}

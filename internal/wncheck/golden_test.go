@@ -1,0 +1,109 @@
+package wncheck_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/wncheck"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden assembles every seeded-violation program in testdata and
+// compares the verifier's rendered diagnostics — including exact codes and
+// line numbers — against the matching .golden file.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.s files")
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := asm.AssembleNamed(file, string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			res, err := wncheck.Check(p, wncheck.Options{Info: true})
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			var b strings.Builder
+			for _, d := range res.Diags {
+				b.WriteString(d.Format(file))
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			goldenFile := strings.TrimSuffix(file, ".s") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenFile, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenFile)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenSeedsDetected guards the golden corpus itself: every seeded file
+// must produce at least one warning-or-worse diagnostic, and the family each
+// file is named for must be among them.
+func TestGoldenSeedsDetected(t *testing.T) {
+	wantCode := map[string]string{
+		"war_hazard.s":  wncheck.CodeWARAmenable,
+		"skm_missing.s": wncheck.CodeSkimMissing,
+		"skm_orphan.s":  wncheck.CodeSkimOrphan,
+		"asp_width.s":   wncheck.CodeASPPosition,
+		"bad_flow.s":    wncheck.CodeBranchRange,
+	}
+	for name, code := range wantCode {
+		file := filepath.Join("testdata", name)
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := asm.AssembleNamed(file, string(src))
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", name, err)
+		}
+		res, err := wncheck.Check(p, wncheck.Options{})
+		if err != nil {
+			t.Fatalf("%s: check: %v", name, err)
+		}
+		if res.Count(wncheck.Warning) == 0 {
+			t.Errorf("%s: no warning-or-worse diagnostics", name)
+		}
+		found := false
+		for _, d := range res.Diags {
+			if d.Code == code {
+				found = true
+				if d.Line <= 0 {
+					t.Errorf("%s: %s diagnostic has no source line", name, code)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected a %s diagnostic, got %v", name, code, res.Diags)
+		}
+	}
+}

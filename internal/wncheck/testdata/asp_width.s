@@ -1,0 +1,12 @@
+; ISA-invariant violations: subword positions, anytime operands, skim targets.
+
+start:
+	MOVI R1, #5
+	MOVI R2, #7
+	.amenable
+	MUL_ASP8 R1, R2, #4  ; WN301: 8-bit subwords at position 4 shift by 32
+	MUL_ASP4 R1, R2, #8  ; WN301: 4-bit subwords at position 8 shift by 32
+	ADD_ASV8 R1, SP      ; WN304: vector add on the stack pointer
+	SKM #6               ; WN203: target is not instruction-aligned
+	SKM start            ; WN203: target does not advance past the skim
+	HALT

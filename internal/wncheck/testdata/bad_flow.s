@@ -1,0 +1,17 @@
+; Control-flow and memory-safety violations.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = 0x10000000 (data base)
+	BEQ #1000            ; WN402: target is outside the image
+	LDR R3, [R0, #2]     ; WN303: word load at a half-aligned address
+	MOVI R2, #0
+	MOVTI R2, #12288     ; R2 = 0x30000000, beyond every region
+	LDR R4, [R2, #0]     ; WN403: no region maps this address
+	MOVI R5, #0
+	STR R3, [R5, #0]     ; WN404: store into instruction memory
+	CMPI R3, #0
+	BEQ tail
+	.word 0xFF000000     ; WN302: does not decode; execution faults here
+	MOVI R6, #1          ; WN401: unreachable after the fault
+tail:
+	ADDI R7, R3, #1      ; WN405: execution runs off the image end

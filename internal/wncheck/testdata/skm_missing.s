@@ -1,0 +1,29 @@
+; An amenable loop that only one path into protects with a skim point.
+;
+; The hot path commits a seed approximation and arms a skim point before the
+; loop; the cold path branches straight in. The loop performs anytime work,
+; is not covered on every entry path, and no skim point is reachable from
+; it, so an outage mid-loop discards all of its anytime work (WN201, error).
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	MOVI R4, #8          ; trip count
+	MOVI R5, #0          ; accumulator
+	MOVI R7, #3          ; coefficient
+	LDRH R6, [R0, #32]
+	.amenable
+	MUL_ASP8 R6, R7, #0  ; seed approximation
+	CMPI R6, #0
+	BEQ loop             ; cold path: enters the loop with no skim armed
+	STRH R6, [R0, #36]   ; commit the seed
+	SKM loop             ; hot path arms a skim point
+loop:
+	LDRH R6, [R0, #0]    ; WN201 reported at the loop head
+	.amenable
+	MUL_ASP8 R6, R7, #1
+	ADD R5, R5, R6
+	ADDI R0, R0, #2
+	SUBIS R4, R4, #1
+	BNE loop
+	STR R5, [R0, #0]
+	HALT

@@ -1,0 +1,20 @@
+; WAR hazards: anytime-consumed input vs the checkpoint-coalescible idiom.
+;
+; The first store overwrites a word that anytime work already consumed, so
+; replaying the interval after a power failure re-runs the MUL_ASP on the
+; new value (WN101, error). The second store is the plain read-modify-write
+; idiom the Clank runtime repairs with a forced checkpoint (WN102, info).
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = 0x10000000 (data base)
+	MOVI R2, #3
+	LDR R1, [R0, #0]     ; outstanding read of the input word
+	.amenable
+	MUL_ASP8 R1, R2, #0  ; anytime work consumes the read
+	STR R1, [R0, #0]     ; WN101: in-place overwrite of the consumed input
+	SKM done
+	LDR R3, [R0, #4]
+	ADDI R3, R3, #1
+	STR R3, [R0, #4]     ; WN102: Clank forces a checkpoint here
+done:
+	HALT

@@ -1,0 +1,283 @@
+// Package wncheck is a static verifier for assembled WN programs.
+//
+// It decodes a program image back into instructions, builds a basic-block
+// control-flow graph, and runs three dataflow analyses over it:
+//
+//   - a forward abstract interpretation that propagates register constants,
+//     the set of non-volatile words read since the last skim point, and
+//     whether a skim target is armed on every path;
+//   - reaching definitions (forward, may), used to flag reads of registers
+//     that may never have been written;
+//   - liveness (backward, may), used to flag register writes whose value is
+//     never read.
+//
+// On top of those it checks the intermittency-safety and ISA invariants the
+// What's Next architecture relies on:
+//
+//	WN101  WAR hazard through anytime code: a non-volatile data word is
+//	       read, consumed by an amenable (anytime) instruction, and then
+//	       overwritten with no skim point in between. Replaying the
+//	       interval after a power failure re-runs the anytime work on the
+//	       overwritten value, so the interval is not idempotent in value —
+//	       a Clank checkpoint cannot repair it (the Alpaca WAR condition).
+//	WN102  A WAR with no intervening anytime work — for example the
+//	       compiler's cross-pass commit idiom LDR X; ADD; STR X; SKM. The
+//	       Clank runtime forces a checkpoint before the store, which makes
+//	       it safe at the cost of one checkpoint (info).
+//	WN201  A loop containing amenable instructions has no skim point armed
+//	       on entry and none reachable from the loop.
+//	WN202  A skim point that is not reachable from any amenable
+//	       instruction: there is no anytime result for it to commit.
+//	WN203  A skim target outside the image, misaligned, or not past the
+//	       skim instruction itself.
+//	WN301  A MUL_ASP subword position that shifts the product out of the
+//	       32-bit result (bits*pos must stay below 32).
+//	WN302  A reachable word that does not decode to a WN instruction.
+//	WN303  A misaligned data access at a statically known address (packed
+//	       subword-major planes are word-aligned by the layout engine, so
+//	       plane accesses must stay aligned).
+//	WN304  An anytime (ASP/ASV) instruction operating on SP, LR or PC.
+//	WN401  Unreachable code (warning).
+//	WN402  A branch whose target lies outside the image or between
+//	       instructions.
+//	WN403  A load or store at a statically known address that no memory
+//	       region maps.
+//	WN404  A store into instruction memory (warning).
+//	WN405  Execution can run off the end of the image.
+//	WN901  A register write whose value is never read (info).
+//	WN902  A register read that may precede any write (info).
+//
+// Severities: errors break the build (the compiler's post-emit hook and
+// wnlint both fail on them), warnings fail wnlint only, info diagnostics are
+// reported only when Options.Info is set.
+package wncheck
+
+import (
+	"fmt"
+	"sort"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Diagnostic codes, grouped by family.
+const (
+	CodeWARAmenable = "WN101" // WAR hazard through anytime work
+	CodeWARPlain    = "WN102" // WAR handled by a forced Clank checkpoint
+	CodeSkimMissing = "WN201" // amenable loop with no skim coverage
+	CodeSkimOrphan  = "WN202" // skim point no anytime work reaches
+	CodeSkimTarget  = "WN203" // invalid skim target
+	CodeASPPosition = "WN301" // MUL_ASP position overflows the result
+	CodeIllegalOp   = "WN302" // reachable word does not decode
+	CodeMisaligned  = "WN303" // misaligned access at known address
+	CodeAnytimeReg  = "WN304" // ASP/ASV on SP/LR/PC
+	CodeUnreachable = "WN401" // unreachable block
+	CodeBranchRange = "WN402" // branch target outside the image
+	CodeOOBAccess   = "WN403" // access outside every memory region
+	CodeCodeWrite   = "WN404" // store into instruction memory
+	CodeMissingHalt = "WN405" // execution runs off the image end
+	CodeDeadWrite   = "WN901" // register write never read
+	CodeUninitRead  = "WN902" // register read before any write
+)
+
+// Diagnostic is one finding, anchored to an instruction.
+type Diagnostic struct {
+	Code     string
+	Severity Severity
+	Addr     uint32 // absolute address of the instruction
+	Index    int    // instruction index within the image
+	Line     int    // 1-based source line, 0 when no line table is available
+	Source   string // source text of the instruction, when available
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	at := fmt.Sprintf("%#08x", d.Addr)
+	if d.Line > 0 {
+		at = fmt.Sprintf("line %d", d.Line)
+	}
+	return fmt.Sprintf("%s %s at %s: %s", d.Code, d.Severity, at, d.Msg)
+}
+
+// Format renders a diagnostic in file:line: form for tool output.
+func (d Diagnostic) Format(file string) string {
+	if file == "" {
+		file = "<image>"
+	}
+	loc := fmt.Sprintf("%s:%#08x", file, d.Addr)
+	if d.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", file, d.Line)
+	}
+	return fmt.Sprintf("%s: %s %s: %s", loc, d.Code, d.Severity, d.Msg)
+}
+
+// SkimPolicy controls the skim-placement checks (WN201, WN202), which only
+// make sense for programs that opted into skim protection.
+type SkimPolicy int
+
+const (
+	// SkimAuto enables the placement checks iff the image contains at
+	// least one reachable SKM instruction.
+	SkimAuto SkimPolicy = iota
+	// SkimRequire always runs the placement checks.
+	SkimRequire
+	// SkimOff disables them.
+	SkimOff
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Mem supplies the region sizes used for bounds checks. The zero value
+	// selects mem.DefaultConfig().
+	Mem mem.Config
+	// Skim selects the skim-placement policy; default SkimAuto.
+	Skim SkimPolicy
+	// Info includes the info-severity dataflow findings (WN901, WN902).
+	Info bool
+	// Disable suppresses the listed diagnostic codes.
+	Disable []string
+}
+
+// Result is the outcome of a verification run.
+type Result struct {
+	Diags []Diagnostic
+
+	// Analysis statistics, for observability and tests.
+	NumInstructions int
+	NumBlocks       int
+	NumLoops        int
+	UnreachableIns  int
+}
+
+// Count returns the number of diagnostics at or above the severity.
+func (r *Result) Count(min Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the error-severity diagnostics.
+func (r *Result) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Check verifies an assembled program. It returns an error only for
+// malformed input (image length not a multiple of the instruction size);
+// findings about the program itself are diagnostics in the Result.
+func Check(p *asm.Program, opts Options) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("wncheck: nil program")
+	}
+	if len(p.Image)%isa.InstBytes != 0 {
+		return nil, fmt.Errorf("wncheck: image length %d is not a multiple of %d", len(p.Image), isa.InstBytes)
+	}
+	if opts.Mem == (mem.Config{}) {
+		opts.Mem = mem.DefaultConfig()
+	}
+
+	c := &checker{
+		prog:     p,
+		opts:     opts,
+		disabled: make(map[string]bool, len(opts.Disable)),
+		seen:     make(map[diagKey]bool),
+	}
+	for _, code := range opts.Disable {
+		c.disabled[code] = true
+	}
+
+	c.decode()
+	c.buildCFG()
+	c.markReachable()
+	c.findLoops()
+
+	c.runForward()  // constants, read sets, skim arming + WN1xx/2xx/3xx/4xx
+	c.checkBlocks() // unreachable code, fall-off-the-end, loop coverage
+	c.runLiveness() // WN901
+	c.runReaching() // WN902
+
+	res := &Result{
+		Diags:           c.diags,
+		NumInstructions: len(c.ins),
+		NumBlocks:       len(c.blocks),
+		NumLoops:        c.numLoops,
+	}
+	for _, b := range c.blocks {
+		if !b.reachable {
+			res.UnreachableIns += b.end - b.start
+		}
+	}
+	sort.SliceStable(res.Diags, func(i, j int) bool {
+		if res.Diags[i].Index != res.Diags[j].Index {
+			return res.Diags[i].Index < res.Diags[j].Index
+		}
+		return res.Diags[i].Code < res.Diags[j].Code
+	})
+	return res, nil
+}
+
+type diagKey struct {
+	code string
+	idx  int
+}
+
+// report files a diagnostic for the instruction at index idx, deduplicating
+// by (code, instruction).
+func (c *checker) report(code string, sev Severity, idx int, format string, args ...any) {
+	if c.disabled[code] {
+		return
+	}
+	if sev == Info && !c.opts.Info {
+		return
+	}
+	k := diagKey{code, idx}
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	d := Diagnostic{
+		Code:     code,
+		Severity: sev,
+		Index:    idx,
+		Addr:     mem.CodeBase + uint32(idx*isa.InstBytes),
+		Msg:      fmt.Sprintf(format, args...),
+	}
+	if idx < len(c.prog.Lines) {
+		d.Line = c.prog.Lines[idx]
+	}
+	if idx < len(c.prog.Source) {
+		d.Source = c.prog.Source[idx]
+	}
+	c.diags = append(c.diags, d)
+}

@@ -1,0 +1,288 @@
+package wncheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/wncheck"
+)
+
+func check(t *testing.T, src string, opts wncheck.Options) *wncheck.Result {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := wncheck.Check(p, opts)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return res
+}
+
+func codes(res *wncheck.Result) []string {
+	var out []string
+	for _, d := range res.Diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func hasCode(res *wncheck.Result, code string) bool {
+	for _, d := range res.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGShape(t *testing.T) {
+	res := check(t, `
+	MOVI R0, #4
+loop:
+	SUBIS R0, R0, #1
+	BNE loop
+	HALT
+`, wncheck.Options{})
+	if res.NumInstructions != 4 {
+		t.Errorf("instructions = %d, want 4", res.NumInstructions)
+	}
+	if res.NumBlocks != 3 {
+		t.Errorf("blocks = %d, want 3", res.NumBlocks)
+	}
+	if res.NumLoops != 1 {
+		t.Errorf("loops = %d, want 1", res.NumLoops)
+	}
+	if res.UnreachableIns != 0 {
+		t.Errorf("unreachable = %d, want 0", res.UnreachableIns)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", codes(res))
+	}
+}
+
+// The skim point closes the WAR interval: read, SKM, overwrite is clean.
+func TestSkimClearsWARInterval(t *testing.T) {
+	base := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R2, #3
+	LDR R1, [R0, #0]
+	.amenable
+	MUL_ASP8 R1, R2, #0
+	%s
+	STR R1, [R0, #0]
+end:
+	HALT
+`
+	hazard := check(t, strings.Replace(base, "%s", "", 1), wncheck.Options{})
+	if !hasCode(hazard, wncheck.CodeWARAmenable) {
+		t.Errorf("without SKM: want WN101, got %v", codes(hazard))
+	}
+	clean := check(t, strings.Replace(base, "%s", "SKM end", 1), wncheck.Options{})
+	if hasCode(clean, wncheck.CodeWARAmenable) || hasCode(clean, wncheck.CodeWARPlain) {
+		t.Errorf("with SKM: want no WAR diagnostics, got %v", codes(clean))
+	}
+}
+
+// A WAR through a statically unknown pointer is not flagged: the checker
+// only trusts addresses it can resolve.
+func TestWARNeedsKnownAddress(t *testing.T) {
+	res := check(t, `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R2, [R0, #64]   ; R2 = runtime pointer, unknown
+	MOVI R3, #3
+	LDR R1, [R2, #0]
+	.amenable
+	MUL_ASP8 R1, R3, #0
+	STR R1, [R2, #0]
+	HALT
+`, wncheck.Options{})
+	if hasCode(res, wncheck.CodeWARAmenable) || hasCode(res, wncheck.CodeWARPlain) {
+		t.Errorf("want no WAR diagnostics through unknown pointer, got %v", codes(res))
+	}
+}
+
+// A write that the forward analysis proves happened on every path masks the
+// subsequent read from the WAR set (write-then-read-then-write is one
+// hazard, not two).
+func TestWrittenWordsMaskReads(t *testing.T) {
+	res := check(t, `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R1, #7
+	STR R1, [R0, #0]    ; word is written first
+	LDR R2, [R0, #0]    ; this read is of our own write
+	.amenable
+	MUL_ASP8 R2, R1, #0
+	STR R2, [R0, #0]
+	HALT
+`, wncheck.Options{})
+	if hasCode(res, wncheck.CodeWARAmenable) || hasCode(res, wncheck.CodeWARPlain) {
+		t.Errorf("want no WAR diagnostics after a dominating write, got %v", codes(res))
+	}
+}
+
+func TestSkimPolicies(t *testing.T) {
+	// An amenable loop with no skim anywhere.
+	noSkim := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R3, #3
+	MOVI R4, #4
+loop:
+	LDRH R1, [R0, #0]
+	.amenable
+	MUL_ASP8 R1, R3, #0
+	ADDI R0, R0, #2
+	SUBIS R4, R4, #1
+	BNE loop
+	HALT
+`
+	if res := check(t, noSkim, wncheck.Options{Skim: wncheck.SkimAuto}); hasCode(res, wncheck.CodeSkimMissing) {
+		t.Errorf("SkimAuto without SKM: want no WN201 (program never opted in), got %v", codes(res))
+	}
+	if res := check(t, noSkim, wncheck.Options{Skim: wncheck.SkimRequire}); !hasCode(res, wncheck.CodeSkimMissing) {
+		t.Errorf("SkimRequire: want WN201, got %v", codes(res))
+	}
+
+	// An orphan skim point, policy off.
+	orphan := `
+	MOVI R0, #1
+	SKM end
+	ADDI R0, R0, #1
+end:
+	HALT
+`
+	if res := check(t, orphan, wncheck.Options{Skim: wncheck.SkimOff}); hasCode(res, wncheck.CodeSkimOrphan) {
+		t.Errorf("SkimOff: want no WN202, got %v", codes(res))
+	}
+	if res := check(t, orphan, wncheck.Options{}); !hasCode(res, wncheck.CodeSkimOrphan) {
+		t.Errorf("SkimAuto with orphan SKM: want WN202, got %v", codes(res))
+	}
+}
+
+// The boot state pins SP to the top of SRAM, so stack accesses are bounds-
+// checked statically: a store at [SP, #0] runs past the region.
+func TestStackBoundsThroughKnownSP(t *testing.T) {
+	res := check(t, `
+	MOVI R1, #1
+	STR R1, [SP, #-4]
+	STR R1, [SP, #0]
+	HALT
+`, wncheck.Options{})
+	var oob []int
+	for _, d := range res.Diags {
+		if d.Code == wncheck.CodeOOBAccess {
+			oob = append(oob, d.Line)
+		}
+	}
+	if len(oob) != 1 || oob[0] != 4 {
+		t.Errorf("want exactly one WN403 at line 4, got %v (%v)", oob, codes(res))
+	}
+}
+
+func TestInfoFindings(t *testing.T) {
+	src := `
+	MOVI R1, #1
+	ADD R4, R2, R3
+	HALT
+`
+	quiet := check(t, src, wncheck.Options{})
+	if len(quiet.Diags) != 0 {
+		t.Errorf("info off: want no diagnostics, got %v", codes(quiet))
+	}
+	loud := check(t, src, wncheck.Options{Info: true})
+	if !hasCode(loud, wncheck.CodeDeadWrite) {
+		t.Errorf("want WN901 for MOVI R1 (never read), got %v", codes(loud))
+	}
+	if !hasCode(loud, wncheck.CodeUninitRead) {
+		t.Errorf("want WN902 for ADD reading boot values, got %v", codes(loud))
+	}
+}
+
+func TestDisable(t *testing.T) {
+	src := `
+	MOVI R1, #5
+	MOVI R2, #7
+	MUL_ASP8 R1, R2, #4
+	HALT
+`
+	if res := check(t, src, wncheck.Options{}); !hasCode(res, wncheck.CodeASPPosition) {
+		t.Fatalf("want WN301, got %v", codes(res))
+	}
+	res := check(t, src, wncheck.Options{Disable: []string{wncheck.CodeASPPosition}})
+	if hasCode(res, wncheck.CodeASPPosition) {
+		t.Errorf("WN301 disabled but still reported: %v", codes(res))
+	}
+}
+
+func TestSeverityHelpers(t *testing.T) {
+	res := check(t, `
+	MOVI R1, #5
+	MOVI R2, #7
+	MUL_ASP8 R1, R2, #4
+	B skip
+	MOVI R3, #1
+skip:
+	HALT
+`, wncheck.Options{})
+	if got := res.Count(wncheck.Error); got != 1 {
+		t.Errorf("Count(Error) = %d, want 1", got)
+	}
+	if got := res.Count(wncheck.Warning); got != 2 {
+		t.Errorf("Count(Warning) = %d, want 2 (WN301 + WN401)", got)
+	}
+	errs := res.Errors()
+	if len(errs) != 1 || errs[0].Code != wncheck.CodeASPPosition {
+		t.Errorf("Errors() = %v", errs)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	if _, err := wncheck.Check(nil, wncheck.Options{}); err == nil {
+		t.Error("nil program: want error")
+	}
+	p := &asm.Program{Image: []byte{1, 2, 3}}
+	if _, err := wncheck.Check(p, wncheck.Options{}); err == nil {
+		t.Error("ragged image: want error")
+	}
+	// An empty image is well-formed and clean.
+	res, err := wncheck.Check(&asm.Program{}, wncheck.Options{})
+	if err != nil {
+		t.Fatalf("empty image: %v", err)
+	}
+	if len(res.Diags) != 0 || res.NumInstructions != 0 {
+		t.Errorf("empty image: diags=%v n=%d", codes(res), res.NumInstructions)
+	}
+}
+
+// Diagnostics carry the address, index, line, and source text of the
+// offending instruction.
+func TestDiagnosticAnchoring(t *testing.T) {
+	res := check(t, `
+	MOVI R1, #5
+	MOVI R2, #7
+	MUL_ASP8 R1, R2, #4
+	HALT
+`, wncheck.Options{})
+	if len(res.Diags) != 1 {
+		t.Fatalf("want one diagnostic, got %v", codes(res))
+	}
+	d := res.Diags[0]
+	if d.Index != 2 || d.Addr != 8 || d.Line != 4 {
+		t.Errorf("anchor = index %d addr %#x line %d, want 2 0x8 4", d.Index, d.Addr, d.Line)
+	}
+	if !strings.Contains(d.Source, "MUL_ASP8") {
+		t.Errorf("source = %q, want the MUL_ASP8 text", d.Source)
+	}
+	if !strings.Contains(d.String(), "WN301") {
+		t.Errorf("String() = %q", d.String())
+	}
+	if got := d.Format("x.s"); !strings.HasPrefix(got, "x.s:4: WN301 error:") {
+		t.Errorf("Format() = %q", got)
+	}
+}
