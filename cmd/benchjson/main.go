@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON summary: per-benchmark ns/op, every custom ReportMetric value, and —
+// when the benchmark reports an instruction count — derived instruction
+// throughput. CI uses it to publish the hot-loop numbers as an artifact.
+//
+// Usage:
+//
+//	go test -bench . ./... | benchjson [-o FILE] [-baseline NAME=NS,...]
+//
+// The optional -baseline list records a reference ns/op per benchmark and a
+// derived speedup, so a checked-in summary documents what the numbers were
+// measured against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// InstructionsPerSec is derived from an "instructions/op" metric when
+	// the benchmark reports one.
+	InstructionsPerSec float64 `json:"instructions_per_sec,omitempty"`
+	// BaselineNsPerOp and Speedup are filled from -baseline entries.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// benchLine matches e.g. "BenchmarkTableI  40  8789206 ns/op  25.38 avg_amenable_%".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(lines *bufio.Scanner) (map[string]*Result, error) {
+	out := map[string]*Result{}
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(lines.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := &Result{Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[unit] = v
+			}
+		}
+		if r.NsPerOp == 0 {
+			continue
+		}
+		if n, ok := r.Metrics["instructions/op"]; ok && n > 0 {
+			r.InstructionsPerSec = n / r.NsPerOp * 1e9
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		// Keep the last run of a repeated benchmark (e.g. -count>1).
+		out[m[1]] = r
+	}
+	return out, lines.Err()
+}
+
+func applyBaselines(results map[string]*Result, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, ns, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return fmt.Errorf("bad -baseline entry %q (want NAME=NS)", entry)
+		}
+		base, err := strconv.ParseFloat(ns, 64)
+		if err != nil {
+			return fmt.Errorf("bad -baseline value in %q: %v", entry, err)
+		}
+		if r, found := results[name]; found && base > 0 && r.NsPerOp > 0 {
+			r.BaselineNsPerOp = base
+			r.Speedup = base / r.NsPerOp
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		outPath  = flag.String("o", "", "write JSON here instead of stdout")
+		baseline = flag.String("baseline", "", "comma-separated NAME=NS_PER_OP reference values")
+	)
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if err := applyBaselines(results, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// encoding/json emits map keys sorted, so the output is diff-stable.
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+
+	if *outPath == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

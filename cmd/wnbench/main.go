@@ -14,6 +14,7 @@
 //	wnbench [-exp all|list|table1|fig1|...|areapower]
 //	        [-full] [-traces N] [-invocations N] [-out DIR] [-samples N]
 //	        [-parallel N] [-cache DIR] [-progress]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"whatsnext/internal/core"
@@ -66,6 +69,12 @@ var registry = []expEntry{
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain returns the process exit code instead of calling os.Exit, so the
+// deferred profile writers installed below always flush.
+func realMain() int {
 	var (
 		exp         = flag.String("exp", "all", "experiment to run ('list' enumerates)")
 		full        = flag.Bool("full", false, "paper protocol: 9 traces x 3 invocations, paper-scale inputs")
@@ -76,16 +85,46 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "sweep workers (0 = all CPUs, 1 = serial)")
 		cacheDir    = flag.String("cache", "", "result-cache directory (repeat runs skip simulated cells)")
 		progress    = flag.Bool("progress", false, "render live sweep progress on stderr")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wnbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wnbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wnbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wnbench:", err)
+			}
+		}()
+	}
+
 	if *exp == "list" {
 		listExperiments(os.Stdout)
-		return
+		return 0
 	}
 	if err := validateExp(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "wnbench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	proto := experiments.DefaultProtocol()
@@ -104,7 +143,7 @@ func main() {
 		dc, err := sweep.NewDiskCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wnbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		opts.Cache = dc
 	}
@@ -125,8 +164,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wnbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // validateExp rejects unknown -exp names, listing the valid ones.

@@ -154,11 +154,32 @@ func (l *Layout) Install(m *mem.Memory, name string, vals []int64) error {
 	if al.Planar {
 		l.encodePlanar(al, vals, buf)
 	} else {
-		eb := al.ElemBytes()
-		for i, v := range vals {
-			u := uint64(v) & elemMask(al.Array.ElemBits)
-			for b := 0; b < eb; b++ {
-				buf[i*eb+b] = byte(u >> (8 * b))
+		mask := elemMask(al.Array.ElemBits)
+		switch eb := al.ElemBytes(); eb {
+		case 1:
+			for i, v := range vals {
+				buf[i] = byte(uint64(v) & mask)
+			}
+		case 2:
+			for i, v := range vals {
+				u := uint64(v) & mask
+				buf[2*i] = byte(u)
+				buf[2*i+1] = byte(u >> 8)
+			}
+		case 4:
+			for i, v := range vals {
+				u := uint64(v) & mask
+				buf[4*i] = byte(u)
+				buf[4*i+1] = byte(u >> 8)
+				buf[4*i+2] = byte(u >> 16)
+				buf[4*i+3] = byte(u >> 24)
+			}
+		default:
+			for i, v := range vals {
+				u := uint64(v) & mask
+				for b := 0; b < eb; b++ {
+					buf[i*eb+b] = byte(u >> (8 * b))
+				}
 			}
 		}
 	}

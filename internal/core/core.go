@@ -101,7 +101,7 @@ func (s *System) Load(c *compiler.Compiled) error {
 		return err
 	}
 	s.CPU.InvalidateDecodeCache()
-	s.CPU.AmenablePCs = c.Program.AmenableSet()
+	s.CPU.SetAmenablePCs(c.Program.Amenable)
 	s.compiled = c
 	return nil
 }

@@ -33,8 +33,9 @@ type Stats struct {
 }
 
 // CPU is the simulated core. It executes decoded instructions against a
-// Memory under the M0+ cost model. The intermittent runtimes drive it one
-// instruction at a time, paying the returned Cost into the energy supply.
+// Memory under the M0+ cost model. The intermittent runtimes drive it
+// through Step (one instruction, full hook fidelity) or RunUntil (the
+// batched fast path), paying the returned Cost into the energy supply.
 type CPU struct {
 	Regs [isa.NumRegs]uint32
 	// Condition flags, set only by CMP/CMPI.
@@ -55,18 +56,29 @@ type CPU struct {
 
 	// BeforeStore, when non-nil, runs before every data store with the
 	// target address and size. The Clank runtime uses it to checkpoint
-	// ahead of idempotency-violating writes.
+	// ahead of idempotency-violating writes. The batched RunUntil path
+	// never invokes it: it stops ahead of any store into the non-volatile
+	// data region instead, so the caller can take the slow per-step path
+	// around exactly those stores.
 	BeforeStore func(addr uint32, size int)
-
-	// AmenablePCs marks instruction addresses that the WN compiler
-	// identified as amenable to subword pipelining or vectorization;
-	// executions at these PCs are tallied for Table I.
-	AmenablePCs map[uint32]bool
 
 	Stats Stats
 
-	decodeCache []isa.Instruction // lazily built per program image
-	cacheBase   uint32
+	// amenable marks WN-amenable instruction slots as a bitset indexed by
+	// (PC-CodeBase)/InstBytes — a single shifted load per executed
+	// instruction instead of a map probe.
+	amenable []uint64
+
+	decodeCache []decoded     // lazily built per program image
+	decodeErrs  map[int]error // slot -> original isa.Decode failure
+}
+
+// decoded is one predecoded instruction slot: the decoded form plus its
+// base cycle cost, so the hot loop never re-derives either.
+type decoded struct {
+	in     isa.Instruction
+	cycles uint32
+	amen   bool // slot carries the compiler's amenable mark
 }
 
 // New builds a CPU over the given memory with PC at the code base.
@@ -121,34 +133,111 @@ func (c *CPU) PowerLoss() {
 
 // InvalidateDecodeCache drops the cached decode of code memory. Call after
 // loading a new program image.
-func (c *CPU) InvalidateDecodeCache() { c.decodeCache = nil }
+func (c *CPU) InvalidateDecodeCache() {
+	c.decodeCache = nil
+	c.decodeErrs = nil
+}
+
+// SetAmenablePCs installs the instruction addresses the WN compiler marked
+// as amenable to subword pipelining or vectorization; executions at these
+// PCs are tallied for Table I. Nil or empty clears the set.
+func (c *CPU) SetAmenablePCs(pcs []uint32) {
+	if len(pcs) == 0 {
+		c.amenable = nil
+	} else {
+		slots := c.Mem.Config().CodeBytes / isa.InstBytes
+		c.amenable = make([]uint64, (slots+63)/64)
+		for _, pc := range pcs {
+			slot := int(pc-mem.CodeBase) / isa.InstBytes
+			if slot >= 0 && slot < slots {
+				c.amenable[slot/64] |= 1 << (slot % 64)
+			}
+		}
+	}
+	// The decode cache mirrors the bitset per slot so the batched loop pays
+	// one flag test instead of a shifted bitset probe; re-annotate if built.
+	for i := range c.decodeCache {
+		c.decodeCache[i].amen = c.amenableAt(mem.CodeBase + uint32(i*isa.InstBytes))
+	}
+}
+
+// amenableAt reports whether pc carries the compiler's amenable mark. The
+// caller guarantees pc is inside code memory (decode has succeeded).
+func (c *CPU) amenableAt(pc uint32) bool {
+	if c.amenable == nil {
+		return false
+	}
+	slot := (pc - mem.CodeBase) / isa.InstBytes
+	w := slot >> 6
+	return int(w) < len(c.amenable) && c.amenable[w]&(1<<(slot&63)) != 0
+}
+
+// ensureDecodeCache predecodes the loaded program image once. Undecodable
+// words get an invalid-opcode sentinel, with the original decode failure
+// kept in decodeErrs so a later fault reports the cause. Only the program
+// image is decoded and cached — code memory past it is zeroed by
+// LoadProgram, and decodeAt recovers the zero word's decode error lazily if
+// execution ever falls off the program's end.
+func (c *CPU) ensureDecodeCache() error {
+	if c.decodeCache != nil {
+		return nil
+	}
+	n := c.Mem.Config().CodeBytes / isa.InstBytes
+	prog := (c.Mem.ProgramBytes() + isa.InstBytes - 1) / isa.InstBytes
+	if prog > n {
+		prog = n
+	}
+	cache := make([]decoded, prog)
+	errs := make(map[int]error)
+	for i := 0; i < prog; i++ {
+		w, err := c.Mem.FetchWord(mem.CodeBase + uint32(i*isa.InstBytes))
+		if err != nil {
+			return err
+		}
+		in, err := isa.Decode(isa.Word(w))
+		if err != nil {
+			// Executing this slot faults with err as the cause.
+			cache[i] = decoded{in: isa.Instruction{Op: isa.Opcode(0xFF)}}
+			errs[i] = err
+			continue
+		}
+		cache[i] = decoded{
+			in:     in,
+			cycles: in.Op.BaseCycles(),
+			amen:   c.amenableAt(mem.CodeBase + uint32(i*isa.InstBytes)),
+		}
+	}
+	c.decodeCache, c.decodeErrs = cache, errs
+	return nil
+}
 
 func (c *CPU) decodeAt(pc uint32) (isa.Instruction, error) {
 	if pc%isa.InstBytes != 0 {
 		return isa.Instruction{}, fmt.Errorf("cpu: misaligned PC %#08x", pc)
 	}
-	idx := int(pc-mem.CodeBase) / isa.InstBytes
-	if c.decodeCache == nil {
-		n := c.Mem.Config().CodeBytes / isa.InstBytes
-		c.decodeCache = make([]isa.Instruction, n)
-		for i := range c.decodeCache {
-			w, err := c.Mem.FetchWord(mem.CodeBase + uint32(i*isa.InstBytes))
-			if err != nil {
-				return isa.Instruction{}, err
-			}
-			in, err := isa.Decode(isa.Word(w))
-			if err != nil {
-				// Leave as NOP-like sentinel; executing it faults below.
-				in = isa.Instruction{Op: isa.Opcode(0xFF)}
-			}
-			c.decodeCache[i] = in
-		}
+	if err := c.ensureDecodeCache(); err != nil {
+		return isa.Instruction{}, err
 	}
-	if idx < 0 || idx >= len(c.decodeCache) {
+	if pc < mem.CodeBase || pc-mem.CodeBase >= uint32(c.Mem.Config().CodeBytes) {
 		return isa.Instruction{}, fmt.Errorf("cpu: PC %#08x outside code memory", pc)
 	}
-	in := c.decodeCache[idx]
+	idx := int(pc-mem.CodeBase) / isa.InstBytes
+	if idx >= len(c.decodeCache) {
+		// Past the decoded program image: decode the raw word (zeroed by
+		// LoadProgram unless the program wrote over it) so the fault names
+		// the real cause.
+		if w, ferr := c.Mem.FetchWord(pc); ferr == nil {
+			if _, derr := isa.Decode(isa.Word(w)); derr != nil {
+				return isa.Instruction{}, fmt.Errorf("cpu: illegal instruction at %#08x: %v", pc, derr)
+			}
+		}
+		return isa.Instruction{}, fmt.Errorf("cpu: illegal instruction at %#08x", pc)
+	}
+	in := c.decodeCache[idx].in
 	if !in.Op.Valid() {
+		if derr := c.decodeErrs[idx]; derr != nil {
+			return isa.Instruction{}, fmt.Errorf("cpu: illegal instruction at %#08x: %v", pc, derr)
+		}
 		return isa.Instruction{}, fmt.Errorf("cpu: illegal instruction at %#08x", pc)
 	}
 	return in, nil
@@ -198,13 +287,37 @@ func (c *CPU) Step() (Cost, error) {
 	if err != nil {
 		return Cost{}, err
 	}
-	if c.AmenablePCs != nil && c.AmenablePCs[pc] {
+	if c.amenableAt(pc) {
 		c.Stats.AmenableOps++
 	}
 
-	cost := Cost{Cycles: in.Op.BaseCycles()}
 	nvBefore := c.Mem.NVWrites
+	nextPC, cycles, err := c.execute(in, pc, true)
+	if err != nil {
+		return Cost{}, err
+	}
+	c.Regs[isa.PC] = nextPC
+
+	cost := Cost{Cycles: cycles, NVWrites: int(c.Mem.NVWrites - nvBefore)}
+	if in.Op == isa.OpSkm {
+		cost.NVWrites++ // the skim register is non-volatile
+	}
+	c.Stats.Instructions++
+	c.Stats.Cycles += uint64(cycles)
+	c.Stats.OpCount[in.Op]++
+	return cost, nil
+}
+
+// execute interprets one decoded instruction at pc and returns the next PC
+// and the cycle cost. It does not advance PC or update Stats — Step and the
+// batched RunUntil share it and layer their own bookkeeping on top.
+// callHook gates the BeforeStore callback: Step passes true; RunUntil
+// passes false because it already stopped ahead of any store the hook needs
+// to observe.
+func (c *CPU) execute(in isa.Instruction, pc uint32, callHook bool) (uint32, uint32, error) {
+	cycles := in.Op.BaseCycles()
 	nextPC := pc + isa.InstBytes
+	var err error
 
 	switch in.Op {
 	case isa.OpNop:
@@ -265,7 +378,7 @@ func (c *CPU) Step() (Cost, error) {
 		a, b := c.Regs[in.Rn], c.Regs[in.Rm]
 		prod, fast := c.mulWithMemo(a, b)
 		if fast {
-			cost.Cycles = 1
+			cycles = 1
 		}
 		c.Regs[in.Rd] = prod
 
@@ -276,7 +389,7 @@ func (c *CPU) Step() (Cost, error) {
 		a, b := c.Regs[in.Rd], c.Regs[in.Rm]
 		prod, fast := c.mulWithMemo(a, b)
 		if fast {
-			cost.Cycles = 1
+			cycles = 1
 		}
 		c.Regs[in.Rd] = shiftL(prod, uint32(bits)*uint32(in.Imm))
 
@@ -297,7 +410,7 @@ func (c *CPU) Step() (Cost, error) {
 			v, err = c.Mem.LoadByte(addr)
 		}
 		if err != nil {
-			return Cost{}, err
+			return 0, 0, err
 		}
 		c.Regs[in.Rd] = v
 
@@ -310,7 +423,7 @@ func (c *CPU) Step() (Cost, error) {
 		case isa.OpStrb, isa.OpStrbX:
 			size = 1
 		}
-		if c.BeforeStore != nil {
+		if callHook && c.BeforeStore != nil {
 			c.BeforeStore(addr, size)
 		}
 		switch size {
@@ -322,7 +435,7 @@ func (c *CPU) Step() (Cost, error) {
 			err = c.Mem.StoreByte(addr, c.Regs[in.Rd])
 		}
 		if err != nil {
-			return Cost{}, err
+			return 0, 0, err
 		}
 
 	case isa.OpB:
@@ -335,24 +448,19 @@ func (c *CPU) Step() (Cost, error) {
 	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBgt, isa.OpBle, isa.OpBlo, isa.OpBhs:
 		if c.condTrue(in.Op) {
 			nextPC = pc + uint32(in.Imm)
-			cost.Cycles++ // pipeline refill on a taken branch
+			cycles++ // pipeline refill on a taken branch
 		}
 
 	case isa.OpSkm:
 		c.SkimTarget = uint32(in.Imm)
 		c.SkimArmed = true
-		cost.NVWrites++ // the skim register is non-volatile
+		// The caller accounts the skim register's NV write.
 
 	default:
-		return Cost{}, fmt.Errorf("cpu: unimplemented opcode %s at %#08x", in.Op.Name(), pc)
+		return 0, 0, fmt.Errorf("cpu: unimplemented opcode %s at %#08x", in.Op.Name(), pc)
 	}
 
-	c.Regs[isa.PC] = nextPC
-	cost.NVWrites += int(c.Mem.NVWrites - nvBefore)
-	c.Stats.Instructions++
-	c.Stats.Cycles += uint64(cost.Cycles)
-	c.Stats.OpCount[in.Op]++
-	return cost, nil
+	return nextPC, cycles, nil
 }
 
 // mulWithMemo computes a*b through zero skipping and the memo table when

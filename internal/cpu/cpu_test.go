@@ -486,7 +486,7 @@ func TestStatsAccumulate(t *testing.T) {
 		MUL R2, R0, R1
 		HALT
 	`)
-	c.AmenablePCs = map[uint32]bool{2 * isa.InstBytes: true}
+	c.SetAmenablePCs([]uint32{2 * isa.InstBytes})
 	cycles := runToHalt(t, c)
 	if c.Stats.Instructions != 4 {
 		t.Errorf("instructions = %d", c.Stats.Instructions)

@@ -92,6 +92,11 @@ func (s *Supply) Voltage() float64 {
 // Powered reports whether the device is currently on.
 func (s *Supply) Powered() bool { return s.powered }
 
+// Headroom returns the joules stored above the brown-out threshold. Batch
+// schedulers divide it by a worst-case per-cycle drain to bound how many
+// cycles can run without a brown-out.
+func (s *Supply) Headroom() float64 { return s.energy - s.offE }
+
 // Now returns the simulated time in seconds.
 func (s *Supply) Now() float64 {
 	return float64(s.CyclesOn+s.CyclesOff) * s.cycleSec

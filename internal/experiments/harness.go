@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"whatsnext/internal/compiler"
 	"whatsnext/internal/core"
@@ -69,13 +70,46 @@ func PreciseVariant(b *workloads.Benchmark, p workloads.Params) Variant {
 	return Variant{Bench: b, Params: p, Mode: compiler.ModePrecise, Bits: 8}
 }
 
-// Compile lowers the variant.
+// compileKey is the value identity of a Variant: two variants with equal
+// keys compile to identical programs (compilation is deterministic).
+type compileKey struct {
+	bench       string
+	params      workloads.Params
+	mode        compiler.Mode
+	bits        int
+	provisioned bool
+	vectorLoads bool
+}
+
+// compileCache memoizes Variant.Compile. The studies compile the same
+// handful of variants hundreds of times — once per trace seed, invocation,
+// and sweep cell — and the Compiled result is immutable after construction,
+// so one compilation serves them all.
+var compileCache sync.Map // compileKey -> *compiler.Compiled
+
+// Compile lowers the variant, reusing a prior identical compilation.
 func (v Variant) Compile() (*compiler.Compiled, error) {
+	key := compileKey{
+		bench:       v.Bench.Name,
+		params:      v.Params,
+		mode:        v.Mode,
+		bits:        v.Bits,
+		provisioned: v.Provisioned,
+		vectorLoads: v.VectorLoads,
+	}
+	if c, ok := compileCache.Load(key); ok {
+		return c.(*compiler.Compiled), nil
+	}
 	k := v.Bench.Build(v.Params, v.Bits, v.Provisioned)
-	return compiler.Compile(k, compiler.Options{
+	c, err := compiler.Compile(k, compiler.Options{
 		Mode:        v.Mode,
 		VectorLoads: v.VectorLoads,
 	})
+	if err != nil {
+		return nil, err
+	}
+	compileCache.Store(key, c)
+	return c, nil
 }
 
 func (v Variant) String() string {
@@ -92,7 +126,12 @@ func (v Variant) String() string {
 // bareDevice builds a CPU+memory with the program and inputs installed,
 // without a power supply — for continuous-power runs driven cycle by cycle.
 func bareDevice(c *compiler.Compiled, inputs map[string][]int64, memo bool) (*cpu.CPU, *mem.Memory, error) {
-	m := mem.New(mem.DefaultConfig())
+	return bareDeviceOn(mem.New(mem.DefaultConfig()), c, inputs, memo)
+}
+
+// bareDeviceOn installs the program and inputs on an existing (wiped)
+// memory, letting serial harnesses reuse one region set across programs.
+func bareDeviceOn(m *mem.Memory, c *compiler.Compiled, inputs map[string][]int64, memo bool) (*cpu.CPU, *mem.Memory, error) {
 	if err := m.LoadProgram(c.Program.Image); err != nil {
 		return nil, nil, err
 	}
@@ -125,7 +164,12 @@ type contResult struct {
 	SkimArmed    bool
 }
 
-// runContinuous executes the program under uninterrupted power.
+// runContinuous executes the program under uninterrupted power through the
+// batched executor. Windows are sized to the next observable boundary — a
+// quality sample or the cycle budget — and RunUntil stops at the first
+// instruction that crosses it (and at every SKM), so samples, skim stops,
+// and budget stops land on exactly the instruction boundaries the
+// per-instruction reference loop would produce.
 func runContinuous(c *compiler.Compiled, inputs map[string][]int64, opt contOptions) (contResult, *mem.Memory, error) {
 	cp, m, err := bareDevice(c, inputs, opt.memo)
 	if err != nil {
@@ -134,12 +178,19 @@ func runContinuous(c *compiler.Compiled, inputs map[string][]int64, opt contOpti
 	var cycles, instrs uint64
 	nextSample := opt.sampleEvery
 	for !cp.Halted {
-		cost, err := cp.Step()
+		budget := uint64(1) << 62
+		if opt.sampleEvery != 0 && nextSample-cycles < budget {
+			budget = nextSample - cycles
+		}
+		if opt.cycleBudget != 0 && opt.cycleBudget-cycles < budget {
+			budget = opt.cycleBudget - cycles
+		}
+		res, err := cp.RunUntil(budget, nil)
 		if err != nil {
 			return contResult{}, nil, fmt.Errorf("experiments: %s fault: %w", c.Kernel.Name, err)
 		}
-		cycles += uint64(cost.Cycles)
-		instrs++
+		cycles += res.Cycles
+		instrs += res.Instructions
 		if opt.sampleEvery != 0 && cycles >= nextSample {
 			opt.sample(cycles, m)
 			nextSample += opt.sampleEvery

@@ -86,6 +86,17 @@ func (c *Clank) takeCheckpoint() {
 	c.pendingOverheadE += float64(c.cfg.CheckpointNVWords) * c.r.Supply.Config().NVWriteEnergy
 }
 
+// BatchHorizon implements Policy: the batched executor may run until the
+// watchdog would fire (the checkpoint then lands on the window's final
+// instruction, exactly as in the reference loop). AfterStep charges no
+// per-cycle surcharge.
+func (c *Clank) BatchHorizon() (uint64, float64) {
+	if c.sinceCheckpoint >= c.cfg.WatchdogCycles {
+		return 0, 0
+	}
+	return c.cfg.WatchdogCycles - c.sinceCheckpoint, 0
+}
+
 // AfterStep implements Policy: it applies the watchdog and surfaces any
 // checkpoint overhead accrued during the instruction.
 func (c *Clank) AfterStep(cost cpu.Cost) (uint32, float64) {

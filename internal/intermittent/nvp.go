@@ -1,6 +1,10 @@
 package intermittent
 
-import "whatsnext/internal/cpu"
+import (
+	"math"
+
+	"whatsnext/internal/cpu"
+)
 
 // NVPConfig parameterizes the non-volatile-processor runtime.
 type NVPConfig struct {
@@ -41,6 +45,13 @@ func (n *NVP) Attach(r *Runner) {
 	n.r = r
 	r.Mem.SetTracking(false)
 	r.CPU.BeforeStore = nil
+}
+
+// BatchHorizon implements Policy: NVP has no watchdog, so only the energy
+// headroom bounds a batch; the per-cycle backup surcharge is the drain
+// bound the runner must assume.
+func (n *NVP) BatchHorizon() (uint64, float64) {
+	return math.MaxUint64, n.cfg.BackupEnergyFactor * n.r.Supply.Config().EnergyPerCycle
 }
 
 // AfterStep implements Policy: charge the per-cycle backup surcharge.

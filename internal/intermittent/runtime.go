@@ -43,6 +43,13 @@ type Policy interface {
 	OnRestore() (extraCycles uint32, extraEnergy float64)
 	// Checkpoints returns how many checkpoints the policy has taken.
 	Checkpoints() uint64
+	// BatchHorizon reports the constraints under which the batched executor
+	// may run without per-instruction policy observation: no event that
+	// inspects CPU state (a watchdog checkpoint) may fire strictly inside
+	// the next `cycles` cycles, and `energyPerCycle` bounds the extra
+	// per-cycle energy AfterStep charges within that window. A zero horizon
+	// forces the runner back to the per-instruction reference path.
+	BatchHorizon() (cycles uint64, energyPerCycle float64)
 }
 
 // Result summarizes a run to completion.
@@ -80,8 +87,14 @@ type Runner struct {
 
 	// OnProgress, when non-nil, is invoked after every instruction with
 	// the running active-cycle count. Experiments use it to sample output
-	// quality over time.
+	// quality over time. Setting it disables the batched fast path so the
+	// callback keeps its per-instruction granularity.
 	OnProgress func(cyclesOn uint64)
+
+	// Reference forces the per-instruction Step loop even where the batched
+	// executor applies. The differential tests use it to prove the batched
+	// path reproduces the reference byte for byte.
+	Reference bool
 
 	pendingCycles uint32
 	pendingEnergy float64
@@ -108,7 +121,23 @@ func (r *Runner) consumeSkim() {
 // RunToHalt executes until HALT, riding through power outages per the
 // policy. The caller is responsible for loading the program, installing
 // inputs and resetting the CPU beforehand.
+//
+// Unless Reference is set or an OnProgress callback needs per-instruction
+// granularity, execution goes through the batched fast path: the CPU runs
+// uninterrupted windows via RunUntil sized so that no checkpoint, brown-out,
+// or cycle-budget event can fall strictly inside a window, and the recorded
+// per-instruction costs are replayed through the policy and supply in
+// reference order. Results are byte-identical to the reference loop.
 func (r *Runner) RunToHalt() (Result, error) {
+	if r.Reference || r.OnProgress != nil {
+		return r.runReference()
+	}
+	return r.runBatched()
+}
+
+// runReference is the per-instruction reference loop. Its observable
+// behavior is the contract the batched path must reproduce exactly.
+func (r *Runner) runReference() (Result, error) {
 	maxCycles := r.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
@@ -162,6 +191,143 @@ func (r *Runner) RunToHalt() (Result, error) {
 				return r.result(startOn, startOff, startOut, startDrawn, startInst), err
 			}
 		}
+	}
+	return r.result(startOn, startOff, startOut, startDrawn, startInst), nil
+}
+
+// Batched-executor window sizing. batchSlack keeps a window clear of the
+// brown-out threshold: RunUntil overshoots its budget by less than
+// cpu.MaxInstrCycles, and the first replayed AfterStep may surface one
+// pending checkpoint (~40 cycles plus 17 NV-word writes) accrued just
+// before the window. 64 cycles of worst-case drain covers both with
+// margin. minBatch is the smallest window worth entering the batched
+// executor for; below it the runner single-steps the reference path.
+const (
+	batchSlack = 64
+	minBatch   = 96
+)
+
+// runBatched drives the CPU through RunUntil windows and replays the
+// recorded per-instruction costs through Policy.AfterStep and Supply.Spend
+// in exactly the reference order, so every energy draw, harvest charge,
+// checkpoint, and outage lands on the same instruction boundary with the
+// same floating-point values as runReference.
+func (r *Runner) runBatched() (Result, error) {
+	maxCycles := r.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	r.skimTaken = false
+
+	startOn := r.Supply.CyclesOn
+	startOff := r.Supply.CyclesOff
+	startOut := r.Supply.Outages
+	startDrawn := r.Supply.EnergyDrawn
+	startInst := r.CPU.Stats.Instructions
+
+	outage := func() error {
+		r.Policy.OnOutage()
+		if _, ok := r.Supply.WaitForPower(); !ok {
+			return ErrOutOfPower
+		}
+		ec, ee := r.Policy.OnRestore()
+		r.pendingCycles += ec
+		r.pendingEnergy += ee
+		return nil
+	}
+
+	cfg := r.Supply.Config()
+	costs := make([]cpu.Cost, 0, 4096)
+
+	// stepOnce is one reference-loop iteration body: Step (with hook
+	// fidelity), AfterStep, Spend, outage handling.
+	stepOnce := func() error {
+		cost, err := r.CPU.Step()
+		if err != nil {
+			return fmt.Errorf("intermittent: fault: %w", err)
+		}
+		ec, ee := r.Policy.AfterStep(cost)
+		nvEnergy := float64(cost.NVWrites) * cfg.NVWriteEnergy
+		if !r.Supply.Spend(cost.Cycles+ec, nvEnergy+ee) {
+			return outage()
+		}
+		return nil
+	}
+
+	forceStep := false
+	for !r.CPU.Halted {
+		if r.Supply.CyclesOn-startOn > maxCycles {
+			return r.result(startOn, startOff, startOut, startDrawn, startInst), ErrCycleBudget
+		}
+		// Pay pending runtime overhead (restore costs) first.
+		if r.pendingCycles > 0 || r.pendingEnergy > 0 {
+			pc, pe := r.pendingCycles, r.pendingEnergy
+			r.pendingCycles, r.pendingEnergy = 0, 0
+			if !r.Supply.Spend(pc, pe) {
+				if err := outage(); err != nil {
+					return r.result(startOn, startOff, startOut, startDrawn, startInst), err
+				}
+				continue
+			}
+		}
+
+		// Size a window in which nothing can interrupt the batch: the
+		// policy's horizon (cycles until a watchdog checkpoint may fire),
+		// the energy headroom under worst-case drain (no brown-out strictly
+		// inside the window), and the runaway budget (ErrCycleBudget fires
+		// at the same instruction as the reference loop).
+		var budget uint64
+		if !forceStep {
+			horizon, surcharge := r.Policy.BatchHorizon()
+			if horizon > 0 {
+				drain := cfg.EnergyPerCycle + cfg.NVWriteEnergy + surcharge
+				nSafe := uint64(r.Supply.Headroom() / drain)
+				if nSafe > minBatch+batchSlack {
+					budget = nSafe - batchSlack
+					if horizon < budget {
+						budget = horizon
+					}
+				}
+			}
+			if remaining := maxCycles - (r.Supply.CyclesOn - startOn); budget > remaining+1 {
+				budget = remaining + 1
+			}
+		}
+		forceStep = false
+
+		if budget < minBatch {
+			// Too close to a brown-out or checkpoint boundary, or the next
+			// instruction needs the store hook: take one reference step so
+			// hooks and outages land exactly where the reference loop puts
+			// them.
+			if err := stepOnce(); err != nil {
+				return r.result(startOn, startOff, startOut, startDrawn, startInst), err
+			}
+			continue
+		}
+
+		costs = costs[:0]
+		batch, err := r.CPU.RunUntil(budget, &costs)
+		// Replay first: the instructions before a fault (or a StopStore /
+		// StopSkim boundary) executed and must pay energy in order.
+		for _, cost := range costs {
+			ec, ee := r.Policy.AfterStep(cost)
+			nvEnergy := float64(cost.NVWrites) * cfg.NVWriteEnergy
+			if !r.Supply.Spend(cost.Cycles+ec, nvEnergy+ee) {
+				// By construction this can only be the window's final
+				// instruction (see batchSlack); handle it like the
+				// reference loop would.
+				if oerr := outage(); oerr != nil {
+					return r.result(startOn, startOff, startOut, startDrawn, startInst), oerr
+				}
+			}
+		}
+		if err != nil {
+			return r.result(startOn, startOff, startOut, startDrawn, startInst), fmt.Errorf("intermittent: fault: %w", err)
+		}
+		// A store that needs the BeforeStore hook is executed through Step
+		// on the next iteration, after the usual top-of-loop housekeeping.
+		forceStep = batch.Reason == cpu.StopStore
 	}
 	return r.result(startOn, startOff, startOut, startDrawn, startInst), nil
 }

@@ -131,6 +131,16 @@ func (u *UndoLog) takeCheckpoint() {
 	u.pendingE += float64(u.cfg.CheckpointNVWords) * u.r.Supply.Config().NVWriteEnergy
 }
 
+// BatchHorizon implements Policy: like Clank, the watchdog bounds a batch;
+// log appends happen only under the store hook, which the batched executor
+// routes through Step.
+func (u *UndoLog) BatchHorizon() (uint64, float64) {
+	if u.sinceCheckpoint >= u.cfg.WatchdogCycles {
+		return 0, 0
+	}
+	return u.cfg.WatchdogCycles - u.sinceCheckpoint, 0
+}
+
 // AfterStep implements Policy.
 func (u *UndoLog) AfterStep(cost cpu.Cost) (uint32, float64) {
 	u.sinceCheckpoint += uint64(cost.Cycles)

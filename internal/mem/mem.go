@@ -8,6 +8,12 @@
 // since the last checkpoint), which force a checkpoint before the write may
 // proceed so that re-execution after a power outage observes consistent
 // state.
+//
+// Tracking is implemented as epoch-tagged word-granularity shadow arrays
+// over the FRAM data region, mirroring the constant-time hardware filter
+// Clank describes: a word is in the current read-first (or written) set iff
+// its shadow stamp equals the current epoch, and clearing both sets at a
+// checkpoint is a single epoch increment.
 package mem
 
 import "fmt"
@@ -61,11 +67,23 @@ type Memory struct {
 	data []byte
 	sram []byte
 
-	// Idempotency tracking for the Clank-style runtime. Keys are
-	// word-aligned non-volatile data addresses.
+	// Idempotency tracking for the Clank-style runtime: one epoch stamp per
+	// word of the FRAM data region. A word belongs to the current interval's
+	// read-first (resp. written) set iff its stamp equals epoch.
 	trackAccess bool
-	readFirst   map[uint32]struct{} // read before any write since last checkpoint
-	written     map[uint32]struct{}
+	epoch       uint32
+	readEpoch   []uint32 // stamped when read before any write this epoch
+	writeEpoch  []uint32 // stamped when written this epoch
+
+	// Cached region resolution: consecutive accesses to the same region
+	// skip the backing switch. curNV is 1 when the cached region is the
+	// non-volatile data region (so the store fast path can bump NVWrites
+	// with an add instead of a compare).
+	curRegion []byte
+	curBase   uint32
+	curNV     uint64
+
+	progLen int // bytes of the loaded program image (decode-cache extent)
 
 	// Access statistics (since construction or ResetStats).
 	Reads    uint64
@@ -75,28 +93,65 @@ type Memory struct {
 
 // New builds a Memory with the given region sizes.
 func New(cfg Config) *Memory {
+	// One backing slab for all three regions: a single allocation instead of
+	// three, which matters for harnesses that build thousands of devices.
+	// Full-capacity slicing keeps the regions from growing into each other.
+	cb, db := cfg.CodeBytes, cfg.DataBytes
+	slab := make([]byte, cb+db+cfg.SRAMBytes)
 	return &Memory{
-		cfg:       cfg,
-		code:      make([]byte, cfg.CodeBytes),
-		data:      make([]byte, cfg.DataBytes),
-		sram:      make([]byte, cfg.SRAMBytes),
-		readFirst: make(map[uint32]struct{}),
-		written:   make(map[uint32]struct{}),
+		cfg:   cfg,
+		code:  slab[:cb:cb],
+		data:  slab[cb : cb+db : cb+db],
+		sram:  slab[cb+db:],
+		epoch: 1,
 	}
+}
+
+// Wipe returns the memory to its post-New state — all regions zeroed,
+// tracking off, counters cleared — while reusing the backing storage.
+// Harnesses that simulate many programs back to back use it to avoid
+// re-allocating the full region set per program.
+func (m *Memory) Wipe() {
+	clear(m.code)
+	clear(m.data)
+	clear(m.sram)
+	m.trackAccess = false
+	m.epoch = 1
+	m.readEpoch, m.writeEpoch = nil, nil
+	m.curRegion, m.curBase, m.curNV = nil, 0, 0
+	m.progLen = 0
+	m.Reads, m.Writes, m.NVWrites = 0, 0, 0
 }
 
 // Config returns the sizes the memory was built with.
 func (m *Memory) Config() Config { return m.cfg }
 
 // SetTracking enables or disables read/write-set tracking. The Clank runtime
-// enables it; the NVP runtime leaves it off.
-func (m *Memory) SetTracking(on bool) { m.trackAccess = on }
+// enables it; the NVP runtime leaves it off. The shadow arrays (one epoch
+// stamp per data word) are allocated on first enable, so untracked devices —
+// continuous-power harnesses, NVP — never pay for them.
+func (m *Memory) SetTracking(on bool) {
+	m.trackAccess = on
+	if on && m.readEpoch == nil {
+		words := (m.cfg.DataBytes + 3) / 4
+		m.readEpoch = make([]uint32, words)
+		m.writeEpoch = make([]uint32, words)
+	}
+}
 
 // ClearAccessSets empties the tracked read/write sets. Called at every
-// checkpoint boundary.
+// checkpoint boundary. It is a single epoch increment: stamps from earlier
+// epochs no longer match, so both sets are empty in O(1).
 func (m *Memory) ClearAccessSets() {
-	clear(m.readFirst)
-	clear(m.written)
+	m.epoch++
+	if m.epoch == 0 {
+		// The epoch counter rolled over; stamps left behind by the previous
+		// era would alias freshly issued epochs. Scrub them once per 2^32
+		// checkpoints and restart at 1 (0 marks "never touched").
+		clear(m.readEpoch)
+		clear(m.writeEpoch)
+		m.epoch = 1
+	}
 }
 
 // WouldViolate reports whether a store of size bytes at addr would be an
@@ -107,65 +162,180 @@ func (m *Memory) WouldViolate(addr uint32, size int) bool {
 	if !m.trackAccess || !inRegion(addr, DataBase, len(m.data)) {
 		return false
 	}
-	for _, wa := range coveredWords(addr, size) {
-		if _, ok := m.readFirst[wa]; ok {
+	first, last := coveredWords(addr, size)
+	for wa := first; wa <= last; wa += 4 {
+		wi := (wa - DataBase) >> 2
+		if int(wi) >= len(m.readEpoch) {
+			break // the store itself will fault past the region end
+		}
+		if m.readEpoch[wi] == m.epoch {
 			return true
 		}
 	}
 	return false
 }
 
-func (m *Memory) noteRead(addr uint32, size int) {
+// noteWriteSlow handles the non-volatile half of noteWrite out of line so
+// the SRAM-store fast path stays inlinable.
+func (m *Memory) noteWriteSlow(addr uint32, size int) {
+	m.NVWrites++
+	if m.trackAccess {
+		m.trackWrite(addr, size)
+	}
+}
+
+// The Try* accessors below are the interpreter's single-call fast path:
+// each is small enough for the compiler to inline into the execution loop,
+// hitting the cached region directly. They fail (returning ok=false) on a
+// region-cache miss, a boundary or alignment issue, or when access tracking
+// is enabled — the caller then routes through the full Load*/Store* methods,
+// which handle every case and produce precise errors. A Try* call that
+// fails performs no access and updates no statistics.
+
+// TryLoadWord is the inlinable word-load fast path.
+func (m *Memory) TryLoadWord(addr uint32) (uint32, bool) {
+	b := m.curRegion
+	off := addr - m.curBase
+	if uint64(off)+4 > uint64(len(b)) || addr&3 != 0 || m.trackAccess {
+		return 0, false
+	}
 	m.Reads++
-	if !m.trackAccess || !inRegion(addr, DataBase, len(m.data)) {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24, true
+}
+
+// TryLoadHalf is the inlinable halfword-load fast path.
+func (m *Memory) TryLoadHalf(addr uint32) (uint32, bool) {
+	b := m.curRegion
+	off := addr - m.curBase
+	if uint64(off)+2 > uint64(len(b)) || addr&1 != 0 || m.trackAccess {
+		return 0, false
+	}
+	m.Reads++
+	return uint32(b[off]) | uint32(b[off+1])<<8, true
+}
+
+// TryLoadByte is the inlinable byte-load fast path.
+func (m *Memory) TryLoadByte(addr uint32) (uint32, bool) {
+	b := m.curRegion
+	off := addr - m.curBase
+	if off >= uint32(len(b)) || m.trackAccess {
+		return 0, false
+	}
+	m.Reads++
+	return uint32(b[off]), true
+}
+
+// TryStoreWord is the inlinable word-store fast path.
+func (m *Memory) TryStoreWord(addr uint32, v uint32) bool {
+	b := m.curRegion
+	off := addr - m.curBase
+	if uint64(off)+4 > uint64(len(b)) || addr&3 != 0 || m.trackAccess {
+		return false
+	}
+	m.Writes++
+	m.NVWrites += m.curNV
+	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return true
+}
+
+// TryStoreHalf is the inlinable halfword-store fast path.
+func (m *Memory) TryStoreHalf(addr uint32, v uint32) bool {
+	b := m.curRegion
+	off := addr - m.curBase
+	if uint64(off)+2 > uint64(len(b)) || addr&1 != 0 || m.trackAccess {
+		return false
+	}
+	m.Writes++
+	m.NVWrites += m.curNV
+	b[off], b[off+1] = byte(v), byte(v>>8)
+	return true
+}
+
+// TryStoreByte is the inlinable byte-store fast path.
+func (m *Memory) TryStoreByte(addr uint32, v uint32) bool {
+	b := m.curRegion
+	off := addr - m.curBase
+	if off >= uint32(len(b)) || m.trackAccess {
+		return false
+	}
+	m.Writes++
+	m.NVWrites += m.curNV
+	b[off] = byte(v)
+	return true
+}
+
+// trackRead stamps the covered data words as read-first unless they were
+// already written this epoch. Callers have validated the access, so word
+// indices are in range.
+func (m *Memory) trackRead(addr uint32, size int) {
+	if !inRegion(addr, DataBase, len(m.data)) {
 		return
 	}
-	for _, wa := range coveredWords(addr, size) {
-		if _, written := m.written[wa]; !written {
-			m.readFirst[wa] = struct{}{}
+	first, last := coveredWords(addr, size)
+	for wa := first; wa <= last; wa += 4 {
+		wi := (wa - DataBase) >> 2
+		if m.writeEpoch[wi] != m.epoch {
+			m.readEpoch[wi] = m.epoch
 		}
 	}
 }
 
-func (m *Memory) noteWrite(addr uint32, size int) {
-	m.Writes++
-	if inRegion(addr, DataBase, len(m.data)) {
-		m.NVWrites++
-	}
-	if !m.trackAccess || !inRegion(addr, DataBase, len(m.data)) {
-		return
-	}
-	for _, wa := range coveredWords(addr, size) {
-		m.written[wa] = struct{}{}
+// trackWrite stamps the covered data words as written this epoch.
+func (m *Memory) trackWrite(addr uint32, size int) {
+	first, last := coveredWords(addr, size)
+	for wa := first; wa <= last; wa += 4 {
+		m.writeEpoch[(wa-DataBase)>>2] = m.epoch
 	}
 }
 
-// coveredWords lists the word-aligned addresses a size-byte access touches.
-func coveredWords(addr uint32, size int) [2]uint32 {
-	first := addr &^ 3
-	last := (addr + uint32(size) - 1) &^ 3
-	return [2]uint32{first, last} // equal entries when within one word
+// coveredWords bounds the word-aligned addresses a size-byte access touches:
+// every word in [first, last], stepping by 4. An access contained in one
+// word has first == last, so callers visit each word exactly once.
+func coveredWords(addr uint32, size int) (first, last uint32) {
+	return addr &^ 3, (addr + uint32(size) - 1) &^ 3
 }
 
 func inRegion(addr uint32, base uint32, size int) bool {
 	return addr >= base && addr < base+uint32(size)
 }
 
-// backing returns the byte slice and offset for an access, or an error.
+// backing returns the byte slice and offset for an access, or an error. The
+// region resolved by the previous access is cached: consecutive accesses to
+// the same region (the overwhelmingly common case in the interpreter loop)
+// skip the switch. The body is small enough to inline into the Load*/Store*
+// helpers; misses and boundary cases fall through to backingSlow.
 func (m *Memory) backing(addr uint32, size int, write bool) ([]byte, uint32, error) {
-	var region []byte
-	var base uint32
-	switch {
-	case inRegion(addr, CodeBase, len(m.code)):
-		region, base = m.code, CodeBase
-	case inRegion(addr, DataBase, len(m.data)):
-		region, base = m.data, DataBase
-	case inRegion(addr, SRAMBase, len(m.sram)):
-		region, base = m.sram, SRAMBase
-	default:
-		return nil, 0, &AccessError{Addr: addr, Size: size, Write: write, Msg: "unmapped"}
+	region := m.curRegion
+	off := addr - m.curBase
+	if n := uint32(len(region)); off < n && n-off >= uint32(size) && addr&(uint32(size)-1) == 0 {
+		return region, off, nil
 	}
+	return m.backingSlow(addr, size, write)
+}
+
+// backingSlow re-resolves the region on a cache miss and builds precise
+// errors for unmapped, out-of-bounds, and misaligned accesses.
+func (m *Memory) backingSlow(addr uint32, size int, write bool) ([]byte, uint32, error) {
+	region, base := m.curRegion, m.curBase
 	off := addr - base
+	if region == nil || off >= uint32(len(region)) {
+		switch {
+		case inRegion(addr, DataBase, len(m.data)):
+			region, base = m.data, DataBase
+		case inRegion(addr, SRAMBase, len(m.sram)):
+			region, base = m.sram, SRAMBase
+		case inRegion(addr, CodeBase, len(m.code)):
+			region, base = m.code, CodeBase
+		default:
+			return nil, 0, &AccessError{Addr: addr, Size: size, Write: write, Msg: "unmapped"}
+		}
+		m.curRegion, m.curBase = region, base
+		m.curNV = 0
+		if base == DataBase {
+			m.curNV = 1
+		}
+		off = addr - base
+	}
 	if int(off)+size > len(region) {
 		return nil, 0, &AccessError{Addr: addr, Size: size, Write: write, Msg: "past end of region"}
 	}
@@ -181,7 +351,10 @@ func (m *Memory) LoadWord(addr uint32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.noteRead(addr, 4)
+	m.Reads++
+	if m.trackAccess {
+		m.trackRead(addr, 4)
+	}
 	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24, nil
 }
 
@@ -191,7 +364,10 @@ func (m *Memory) LoadHalf(addr uint32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.noteRead(addr, 2)
+	m.Reads++
+	if m.trackAccess {
+		m.trackRead(addr, 2)
+	}
 	return uint32(b[off]) | uint32(b[off+1])<<8, nil
 }
 
@@ -201,7 +377,10 @@ func (m *Memory) LoadByte(addr uint32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.noteRead(addr, 1)
+	m.Reads++
+	if m.trackAccess {
+		m.trackRead(addr, 1)
+	}
 	return uint32(b[off]), nil
 }
 
@@ -211,7 +390,10 @@ func (m *Memory) StoreWord(addr uint32, v uint32) error {
 	if err != nil {
 		return err
 	}
-	m.noteWrite(addr, 4)
+	m.Writes++
+	if inRegion(addr, DataBase, len(m.data)) {
+		m.noteWriteSlow(addr, 4)
+	}
 	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 	return nil
 }
@@ -222,7 +404,10 @@ func (m *Memory) StoreHalf(addr uint32, v uint32) error {
 	if err != nil {
 		return err
 	}
-	m.noteWrite(addr, 2)
+	m.Writes++
+	if inRegion(addr, DataBase, len(m.data)) {
+		m.noteWriteSlow(addr, 2)
+	}
 	b[off], b[off+1] = byte(v), byte(v>>8)
 	return nil
 }
@@ -233,7 +418,10 @@ func (m *Memory) StoreByte(addr uint32, v uint32) error {
 	if err != nil {
 		return err
 	}
-	m.noteWrite(addr, 1)
+	m.Writes++
+	if inRegion(addr, DataBase, len(m.data)) {
+		m.noteWriteSlow(addr, 1)
+	}
 	b[off] = byte(v)
 	return nil
 }
@@ -255,8 +443,14 @@ func (m *Memory) LoadProgram(image []byte) error {
 	}
 	clear(m.code)
 	copy(m.code, image)
+	m.progLen = len(image)
 	return nil
 }
+
+// ProgramBytes returns the length of the most recently loaded program image.
+// The CPU's decode cache only decodes this prefix of code memory; the rest
+// is zeroed by LoadProgram and shares a single invalid-word sentinel.
+func (m *Memory) ProgramBytes() int { return m.progLen }
 
 // WriteData bulk-copies bytes into the non-volatile data region at addr,
 // bypassing tracking. Used by harnesses to install benchmark inputs.
@@ -279,7 +473,9 @@ func (m *Memory) ReadData(addr uint32, b []byte) error {
 }
 
 // PowerLoss models a power outage: volatile SRAM contents are destroyed.
-// Non-volatile code and data regions persist.
+// Non-volatile code and data regions persist, as do the tracking shadow
+// arrays — the runtime decides when to reset tracking (ClearAccessSets at
+// restore), mirroring Clank's non-volatile filter state.
 func (m *Memory) PowerLoss() {
 	clear(m.sram)
 }

@@ -1,0 +1,29 @@
+package mem
+
+import "testing"
+
+// BenchmarkClankTracking measures the tracked access path the Clank runtime
+// drives: an epoch-stamped read and write per word plus the violation probe
+// and the O(1) checkpoint clear.
+func BenchmarkClankTracking(b *testing.B) {
+	m := New(DefaultConfig())
+	m.SetTracking(true)
+	const words = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := uint32(0); w < words; w++ {
+			addr := DataBase + 4*w
+			if _, err := m.LoadWord(addr); err != nil {
+				b.Fatal(err)
+			}
+			if m.WouldViolate(addr, 4) {
+				m.ClearAccessSets()
+			}
+			if err := m.StoreWord(addr, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.ClearAccessSets()
+	}
+	b.ReportMetric(words, "tracked_words/op")
+}

@@ -220,3 +220,78 @@ func TestAccessErrorMessage(t *testing.T) {
 		t.Fatal("error message should be descriptive")
 	}
 }
+
+// TestEpochRollover drives the epoch counter through its 2^32 wraparound.
+// Stale stamps issued before the rollover must not alias freshly issued
+// epochs — ClearAccessSets scrubs both shadow arrays and restarts at 1.
+func TestEpochRollover(t *testing.T) {
+	m := newMem(t)
+	m.SetTracking(true)
+
+	// Stamp a read in epoch 1 (the post-New epoch): without the rollover
+	// scrub this word's stamp would alias the post-rollover epoch 1.
+	if _, err := m.LoadWord(DataBase); err != nil {
+		t.Fatal(err)
+	}
+	if !m.WouldViolate(DataBase, 4) {
+		t.Fatal("read-first word must register before rollover")
+	}
+
+	// Fast-forward to the last epoch and stamp a second word there.
+	m.epoch = ^uint32(0)
+	if _, err := m.LoadWord(DataBase + 4); err != nil {
+		t.Fatal(err)
+	}
+	if !m.WouldViolate(DataBase+4, 4) {
+		t.Fatal("read-first word must register in the final epoch")
+	}
+
+	m.ClearAccessSets()
+	if m.epoch != 1 {
+		t.Fatalf("epoch after rollover = %d, want 1", m.epoch)
+	}
+	if m.WouldViolate(DataBase, 4) {
+		t.Error("stale epoch-1 stamp from before the rollover aliased the new epoch 1")
+	}
+	if m.WouldViolate(DataBase+4, 4) {
+		t.Error("final-epoch stamp survived the rollover scrub")
+	}
+
+	// Tracking still works after the wrap.
+	if _, err := m.LoadWord(DataBase + 8); err != nil {
+		t.Fatal(err)
+	}
+	if !m.WouldViolate(DataBase+8, 4) {
+		t.Error("tracking must keep working after the rollover")
+	}
+}
+
+// TestPowerLossKeepsAccessSets pins the Clank filter semantics: the shadow
+// arrays are non-volatile, so an outage does not clear the tracked sets —
+// only an explicit ClearAccessSets (the checkpoint/restore boundary) does.
+func TestPowerLossKeepsAccessSets(t *testing.T) {
+	m := newMem(t)
+	m.SetTracking(true)
+
+	if _, err := m.LoadWord(DataBase); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(SRAMBase, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	m.PowerLoss()
+	if s, _ := m.LoadWord(SRAMBase); s != 0 {
+		t.Error("volatile SRAM must clear on an outage")
+	}
+	if !m.WouldViolate(DataBase, 4) {
+		t.Error("the read-first set must survive a power loss")
+	}
+
+	// The runtime clears the sets at restore; only then is the word safe to
+	// overwrite without forcing a checkpoint.
+	m.ClearAccessSets()
+	if m.WouldViolate(DataBase, 4) {
+		t.Error("ClearAccessSets at restore must empty the read-first set")
+	}
+}

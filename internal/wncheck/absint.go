@@ -167,12 +167,14 @@ func (s *dfState) effAddr(in isa.Instruction) (uint32, bool) {
 	return base.v + uint32(in.Imm), true
 }
 
-// coveredWords mirrors mem.coveredWords: the word-aligned addresses a
-// size-byte access touches.
-func coveredWords(addr uint32, size int) [2]uint32 {
-	first := addr &^ 3
-	last := (addr + uint32(size) - 1) &^ 3
-	return [2]uint32{first, last}
+// coveredWords mirrors mem.coveredWords: the first and last word-aligned
+// addresses a size-byte access touches. Callers walk first..last in 4-byte
+// strides, so a single-word access is processed exactly once (the old
+// two-element form visited it twice).
+func coveredWords(addr uint32, size int) (first, last uint32) {
+	first = addr &^ 3
+	last = (addr + uint32(size) - 1) &^ 3
+	return first, last
 }
 
 // step advances the abstract state across one instruction. When check is
@@ -201,7 +203,8 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 			dataEnd := uint32(mem.DataBase) + uint32(c.opts.Mem.DataBytes)
 			inData := addr >= mem.DataBase && addr < dataEnd
 			if op.IsLoad() && inData {
-				for _, w := range coveredWords(addr, size) {
+				first, last := coveredWords(addr, size)
+				for w := first; w <= last; w += 4 {
 					if !s.written[w] {
 						if _, ok := s.reads[w]; !ok {
 							s.reads[w] = readInfo{idx: idx}
@@ -210,15 +213,16 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 				}
 			}
 			if op.IsStore() && inData {
+				first, last := coveredWords(addr, size)
 				if check {
-					for _, w := range coveredWords(addr, size) {
+					for w := first; w <= last; w += 4 {
 						if ri, ok := s.reads[w]; ok {
 							c.reportWAR(idx, ri, w)
 							break
 						}
 					}
 				}
-				for _, w := range coveredWords(addr, size) {
+				for w := first; w <= last; w += 4 {
 					s.written[w] = true
 				}
 			}
