@@ -9,11 +9,18 @@
 // skips already-simulated cells, and -progress renders a live done/total
 // line while the sweep runs.
 //
+// With -remote URL the cells are not simulated locally at all: each study's
+// specs are submitted to a wnserved instance and the streamed results are
+// reassembled in place. The determinism contract makes remote output
+// byte-identical to a local run. Only experiments in the server's resolver
+// registry (see `wnserved` startup output) can run remotely; -parallel and
+// -cache then apply on the server, not here.
+//
 // Usage:
 //
 //	wnbench [-exp all|list|table1|fig1|...|areapower]
 //	        [-full] [-traces N] [-invocations N] [-out DIR] [-samples N]
-//	        [-parallel N] [-cache DIR] [-progress]
+//	        [-parallel N] [-cache DIR] [-progress] [-remote URL]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -29,6 +36,7 @@ import (
 	"whatsnext/internal/core"
 	"whatsnext/internal/energy"
 	"whatsnext/internal/experiments"
+	"whatsnext/internal/serve"
 	"whatsnext/internal/sweep"
 	"whatsnext/internal/synthmodel"
 )
@@ -85,6 +93,7 @@ func realMain() int {
 		parallel    = flag.Int("parallel", 0, "sweep workers (0 = all CPUs, 1 = serial)")
 		cacheDir    = flag.String("cache", "", "result-cache directory (repeat runs skip simulated cells)")
 		progress    = flag.Bool("progress", false, "render live sweep progress on stderr")
+		remote      = flag.String("remote", "", "run sweeps on a wnserved instance at this base URL")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -154,6 +163,9 @@ func realMain() int {
 	}
 	eng := sweep.New(opts)
 	proto.Engine = eng
+	if *remote != "" {
+		proto.Runner = serve.NewClient(*remote)
+	}
 
 	err := run(*exp, proto, *outDir, *samples)
 	if *progress {

@@ -52,7 +52,7 @@ func SkimAblation(proto Protocol) ([]SkimAblationRow, error) {
 			Run: func() (any, error) { return runSkimAblation(b, p) },
 		})
 	}
-	rows, err := runSweep[SkimAblationRow](proto.engine(), jobs)
+	rows, err := runSweep[SkimAblationRow](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("skim ablation: %w", err)
 	}
@@ -156,7 +156,7 @@ func WatchdogSweep(proto Protocol, intervals []uint64) ([]WatchdogRow, error) {
 			Run: func() (any, error) { return runWatchdogPoint(b, p, wd) },
 		})
 	}
-	rows, err := runSweep[WatchdogRow](proto.engine(), jobs)
+	rows, err := runSweep[WatchdogRow](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("watchdog sweep: %w", err)
 	}
@@ -237,7 +237,7 @@ func CapacitorSweep(proto Protocol, uFs []float64) ([]CapacitorRow, error) {
 			Run: func() (any, error) { return runCapacitorPoint(b, p, uf) },
 		})
 	}
-	rows, err := runSweep[CapacitorRow](proto.engine(), jobs)
+	rows, err := runSweep[CapacitorRow](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("capacitor sweep: %w", err)
 	}
@@ -343,7 +343,7 @@ func MemoEntriesSweep(proto Protocol, entries []int) ([]MemoEntriesRow, error) {
 			Run: func() (any, error) { return runMemoPoint(b, p, n) },
 		})
 	}
-	cells, err := runSweep[memoCell](proto.engine(), jobs)
+	cells, err := runSweep[memoCell](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("memo sweep: %w", err)
 	}
@@ -441,7 +441,7 @@ func ConsistencySweep(proto Protocol) ([]ConsistencyRow, error) {
 			})
 		}
 	}
-	rows, err := runSweep[ConsistencyRow](proto.engine(), jobs)
+	rows, err := runSweep[ConsistencyRow](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("consistency sweep: %w", err)
 	}

@@ -58,7 +58,7 @@ func Figure12(proto Protocol) ([]Fig12Row, error) {
 			})
 		}
 	}
-	cells, err := runSweep[earliestCell](proto.engine(), jobs)
+	cells, err := runSweep[earliestCell](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("figure 12: %w", err)
 	}
@@ -161,7 +161,7 @@ func Figure13(proto Protocol) ([]Fig13Row, error) {
 			})
 		}
 	}
-	cells, err := runSweep[fig13Cell](proto.engine(), jobs)
+	cells, err := runSweep[fig13Cell](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("figure 13: %w", err)
 	}
@@ -245,7 +245,7 @@ func Figure14(proto Protocol, samples int) (provisioned, unprovisioned QualityCu
 			Run: func() (any, error) { return runFig14Curve(b, p, v, samples) },
 		})
 	}
-	curves, err := runSweep[QualityCurve](proto.engine(), jobs)
+	curves, err := runSweep[QualityCurve](proto.runner(), jobs)
 	if err != nil {
 		return QualityCurve{}, QualityCurve{}, fmt.Errorf("figure 14: %w", err)
 	}
@@ -365,7 +365,7 @@ func Figure15(proto Protocol) ([]Fig15Row, error) {
 			Run: func() (any, error) { return runEarliestOutput(b, p, v) },
 		})
 	}
-	cells, err := runSweep[earliestCell](proto.engine(), jobs)
+	cells, err := runSweep[earliestCell](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("figure 15: %w", err)
 	}
@@ -436,7 +436,7 @@ func Figure17(proto Protocol) ([]Fig17Point, float64, error) {
 			Run: func() (any, error) { return runFig17Set(b, p, inputSeed) },
 		})
 	}
-	cells, err := runSweep[fig17Cell](proto.engine(), jobs)
+	cells, err := runSweep[fig17Cell](proto.runner(), jobs)
 	if err != nil {
 		return nil, 0, fmt.Errorf("figure 17: %w", err)
 	}

@@ -47,7 +47,7 @@ func EnvironmentStudy(proto Protocol) ([]EnvironmentRow, error) {
 			Run: func() (any, error) { return runEnvironmentPoint(b, p, src) },
 		})
 	}
-	rows, err := runSweep[EnvironmentRow](proto.engine(), jobs)
+	rows, err := runSweep[EnvironmentRow](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("environment study: %w", err)
 	}

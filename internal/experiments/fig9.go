@@ -130,7 +130,7 @@ func Figure9(proto Protocol, samples int) ([]QualityCurve, error) {
 			})
 		}
 	}
-	curves, err := runSweep[QualityCurve](proto.engine(), jobs)
+	curves, err := runSweep[QualityCurve](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("figure 9: %w", err)
 	}

@@ -34,6 +34,13 @@ type Protocol struct {
 	// selects a serial, uncached engine whose output is the reference: any
 	// parallel engine reproduces it byte for byte.
 	Engine *sweep.Engine
+
+	// Runner, when non-nil, overrides Engine with an arbitrary job runner —
+	// in particular internal/serve's HTTP client, which ships each study's
+	// specs to a shared wnserved instance instead of simulating locally.
+	// The determinism contract makes the two indistinguishable byte for
+	// byte (for experiments the server can resolve; see ResolveSpec).
+	Runner sweep.Runner
 }
 
 // DefaultProtocol returns the fast protocol used by tests and benches.

@@ -15,8 +15,13 @@ import (
 // its own variants and builds its own device, so cells share no mutable
 // state and the engine may run them on any number of workers.
 
-// engine returns the protocol's sweep engine, or a serial uncached one.
-func (p Protocol) engine() *sweep.Engine {
+// runner returns the protocol's job runner: an explicit Runner (e.g. a
+// remote wnserved client) wins, then the configured engine, then a serial
+// uncached engine.
+func (p Protocol) runner() sweep.Runner {
+	if p.Runner != nil {
+		return p.Runner
+	}
 	if p.Engine != nil {
 		return p.Engine
 	}
@@ -24,8 +29,8 @@ func (p Protocol) engine() *sweep.Engine {
 }
 
 // runSweep submits a homogeneous job list and decodes each result.
-func runSweep[T any](eng *sweep.Engine, jobs []sweep.Job) ([]T, error) {
-	raws, err := eng.Run(jobs)
+func runSweep[T any](r sweep.Runner, jobs []sweep.Job) ([]T, error) {
+	raws, err := r.Run(jobs)
 	if err != nil {
 		return nil, err
 	}

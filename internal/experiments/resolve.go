@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"whatsnext/internal/core"
+	"whatsnext/internal/sweep"
+	"whatsnext/internal/workloads"
+)
+
+// This file is the spec → job registry: the inverse of each study's cell
+// enumeration. A sweep.Spec fully identifies a simulation cell (that is the
+// engine's determinism contract), so the cell can be reconstructed from the
+// spec alone — which is what lets a remote client submit bare specs to
+// wnserved and receive exactly the bytes a local sweep would produce. The
+// studies route their own enumerated specs through the same resolvers, so
+// the CLI path and the server path cannot drift.
+
+// resolverEntry ties an experiment name to the function that rebuilds its
+// Run closures from specs.
+type resolverEntry struct {
+	desc    string
+	resolve func(sweep.Spec) (func() (any, error), error)
+}
+
+var specResolvers = map[string]resolverEntry{
+	"table1":  {"Table I benchmark characterization, one cell per kernel", resolveTable1},
+	"speedup": {"Figure 10/11 intermittent speedup, one cell per (kernel, bits, trace, input)", resolveSpeedup},
+}
+
+// ResolvableExperiments lists the experiments whose specs ResolveSpec can
+// reconstruct, sorted for stable error messages and API listings.
+func ResolvableExperiments() []string {
+	names := make([]string, 0, len(specResolvers))
+	for name := range specResolvers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExperimentDesc returns the one-line description of a resolvable
+// experiment ("" if unknown).
+func ExperimentDesc(name string) string { return specResolvers[name].desc }
+
+// ResolveSpec validates a spec against the registry and reconstructs its
+// runnable job. The returned job's Run closure is the same pure function of
+// the spec that the study itself would enumerate.
+func ResolveSpec(s sweep.Spec) (sweep.Job, error) {
+	ent, ok := specResolvers[s.Experiment]
+	if !ok {
+		return sweep.Job{}, fmt.Errorf("experiments: unresolvable experiment %q (resolvable: %s)",
+			s.Experiment, strings.Join(ResolvableExperiments(), ", "))
+	}
+	run, err := ent.resolve(s)
+	if err != nil {
+		return sweep.Job{}, fmt.Errorf("experiments: %s spec: %w", s.Experiment, err)
+	}
+	return sweep.Job{Spec: s, Run: run}, nil
+}
+
+// ResolveSpecs resolves a batch, naming the index of the first bad spec.
+func ResolveSpecs(specs []sweep.Spec) ([]sweep.Job, error) {
+	jobs := make([]sweep.Job, len(specs))
+	for i, s := range specs {
+		j, err := ResolveSpec(s)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// specWorkload decodes the canonical workload size from a spec's params.
+func specWorkload(s sweep.Spec) (workloads.Params, error) {
+	raw, ok := s.Params["workload"]
+	if !ok {
+		return workloads.Params{}, fmt.Errorf("missing %q param", "workload")
+	}
+	var p workloads.Params
+	if err := json.Unmarshal([]byte(raw), &p); err != nil {
+		return workloads.Params{}, fmt.Errorf("bad workload param %q: %v", raw, err)
+	}
+	return p, nil
+}
+
+// specInt parses an integer spec param.
+func specInt(s sweep.Spec, key string) (int, error) {
+	raw, ok := s.Params[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %q param", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q param %q", key, raw)
+	}
+	return v, nil
+}
+
+// parseProcessor inverts core.Processor.String.
+func parseProcessor(name string) (core.Processor, error) {
+	for _, p := range []core.Processor{core.ProcClank, core.ProcNVP, core.ProcUndoLog} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown processor %q (want clank, nvp or undolog)", name)
+}
+
+// checkVariant guards against a spec whose redundant variant label
+// disagrees with the fields it was reconstructed from — such a spec would
+// poison shared caches with mislabeled results.
+func checkVariant(s sweep.Spec, want string) error {
+	if s.Variant != "" && s.Variant != want {
+		return fmt.Errorf("variant %q does not match spec fields (%q)", s.Variant, want)
+	}
+	return nil
+}
+
+func resolveTable1(s sweep.Spec) (func() (any, error), error) {
+	b, err := workloads.ByName(s.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	p, err := specWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkVariant(s, PreciseVariant(b, p).String()); err != nil {
+		return nil, err
+	}
+	return func() (any, error) { return runTable1Cell(b, p) }, nil
+}
+
+func resolveSpeedup(s sweep.Spec) (func() (any, error), error) {
+	b, err := workloads.ByName(s.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	p, err := specWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := parseProcessor(s.Processor)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := specInt(s, "bits")
+	if err != nil {
+		return nil, err
+	}
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("bits %d out of range [1,8]", bits)
+	}
+	if err := checkVariant(s, WNVariant(b, p, bits).String()); err != nil {
+		return nil, err
+	}
+	traceSeed, inputSeed := s.TraceSeed, s.InputSeed
+	return func() (any, error) { return runSpeedupCell(proc, b, p, bits, traceSeed, inputSeed) }, nil
+}

@@ -53,12 +53,15 @@ func SpeedupStudy(proc core.Processor, proto Protocol) ([]SpeedupRow, error) {
 	for _, b := range workloads.All() {
 		p := proto.params(b)
 		for _, bits := range []int{8, 4} {
-			gj := speedupJobs(proc, b, p, bits, proto)
+			gj, err := speedupJobs(proc, b, p, bits, proto)
+			if err != nil {
+				return nil, err
+			}
 			groups = append(groups, group{b, bits, len(gj)})
 			jobs = append(jobs, gj...)
 		}
 	}
-	cells, err := runSweep[speedupCell](proto.engine(), jobs)
+	cells, err := runSweep[speedupCell](proto.runner(), jobs)
 	if err != nil {
 		return nil, fmt.Errorf("speedup on %s: %w", proc, err)
 	}
@@ -71,31 +74,38 @@ func SpeedupStudy(proc core.Processor, proto Protocol) ([]SpeedupRow, error) {
 	return rows, nil
 }
 
-// speedupJobs enumerates the (trace, invocation) cells of one bar pair.
-func speedupJobs(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) []sweep.Job {
+// speedupSpec names one (trace, invocation) cell. Every knob the cell
+// depends on is a spec field or param, so ResolveSpec can rebuild it — the
+// same spec a remote client would submit.
+func speedupSpec(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, traceSeed, inputSeed int64) sweep.Spec {
+	return sweep.Spec{
+		Experiment: "speedup",
+		Kernel:     b.Name,
+		Variant:    WNVariant(b, p, bits).String(),
+		Processor:  proc.String(),
+		Source:     string(energy.SourceWiFi),
+		TraceSeed:  traceSeed,
+		InputSeed:  inputSeed,
+		Params:     specParams(p, "bits", itoa(bits)),
+	}
+}
+
+// speedupJobs enumerates the (trace, invocation) cells of one bar pair,
+// routing each spec through the resolver registry so the CLI runs exactly
+// the closures a server would reconstruct.
+func speedupJobs(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) ([]sweep.Job, error) {
 	var jobs []sweep.Job
 	for t := 0; t < proto.Traces; t++ {
 		traceSeed := int64(1000 + 17*t)
 		for inv := 0; inv < proto.Invocations; inv++ {
-			inputSeed := int64(1 + inv)
-			jobs = append(jobs, sweep.Job{
-				Spec: sweep.Spec{
-					Experiment: "speedup",
-					Kernel:     b.Name,
-					Variant:    WNVariant(b, p, bits).String(),
-					Processor:  proc.String(),
-					Source:     string(energy.SourceWiFi),
-					TraceSeed:  traceSeed,
-					InputSeed:  inputSeed,
-					Params:     specParams(p),
-				},
-				Run: func() (any, error) {
-					return runSpeedupCell(proc, b, p, bits, traceSeed, inputSeed)
-				},
-			})
+			j, err := ResolveSpec(speedupSpec(proc, b, p, bits, traceSeed, int64(1+inv)))
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
 		}
 	}
-	return jobs
+	return jobs, nil
 }
 
 // runSpeedupCell simulates one cell: the WN and precise builds on the same
@@ -159,7 +169,11 @@ func speedupRow(b *workloads.Benchmark, bits int, cells []speedupCell) SpeedupRo
 
 // speedupOne runs a single bar pair through the engine (used by tests).
 func speedupOne(proc core.Processor, b *workloads.Benchmark, p workloads.Params, bits int, proto Protocol) (SpeedupRow, error) {
-	cells, err := runSweep[speedupCell](proto.engine(), speedupJobs(proc, b, p, bits, proto))
+	jobs, err := speedupJobs(proc, b, p, bits, proto)
+	if err != nil {
+		return SpeedupRow{}, err
+	}
+	cells, err := runSweep[speedupCell](proto.runner(), jobs)
 	if err != nil {
 		return SpeedupRow{}, fmt.Errorf("speedup %s/%d-bit on %s: %w", b.Name, bits, proc, err)
 	}

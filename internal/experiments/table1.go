@@ -6,7 +6,7 @@ import (
 
 	"whatsnext/internal/compiler"
 	"whatsnext/internal/energy"
-	"whatsnext/internal/mem"
+	"whatsnext/internal/sweep"
 	"whatsnext/internal/workloads"
 )
 
@@ -22,52 +22,71 @@ type Table1Row struct {
 	RuntimeMs   float64
 }
 
-// Table1 measures every benchmark's precise build. Amenable instructions
-// are those the compiler marked as targets for subword pipelining or
-// vectorization.
-func Table1(proto Protocol) ([]Table1Row, error) {
-	clk := energy.DefaultDeviceConfig().ClockHz
-	var rows []Table1Row
-	// The six kernels run back to back on one wiped device, so the table
-	// costs one region allocation instead of six.
-	shared := mem.New(mem.DefaultConfig())
-	for i, b := range workloads.All() {
+// Table1Specs enumerates the study's cells — one per benchmark — as bare
+// specs, the form a remote client submits to wnserved.
+func Table1Specs(proto Protocol) []sweep.Spec {
+	var specs []sweep.Spec
+	for _, b := range workloads.All() {
 		p := proto.params(b)
-		c, err := PreciseVariant(b, p).Compile()
-		if err != nil {
-			return nil, err
-		}
-		in := b.Inputs(p, 1)
-		if i > 0 {
-			shared.Wipe()
-		}
-		cp, _, err := bareDeviceOn(shared, c, in, false)
-		if err != nil {
-			return nil, err
-		}
-		cp.SetAmenablePCs(c.Program.Amenable)
-		var cycles uint64
-		for !cp.Halted {
-			res, err := cp.RunUntil(1<<62, nil)
-			if err != nil {
-				return nil, fmt.Errorf("table 1 %s: %w", b.Name, err)
-			}
-			cycles += res.Cycles
-		}
-		tech := "SWV"
-		if b.Mode == compiler.ModeSWP {
-			tech = "SWP"
-		}
-		rows = append(rows, Table1Row{
-			Benchmark:   b.Name,
-			Area:        b.Area,
-			Technique:   tech,
-			AmenablePct: 100 * float64(cp.Stats.AmenableOps) / float64(cp.Stats.Instructions),
-			Cycles:      cycles,
-			RuntimeMs:   1000 * float64(cycles) / clk,
+		specs = append(specs, sweep.Spec{
+			Experiment: "table1",
+			Kernel:     b.Name,
+			Variant:    PreciseVariant(b, p).String(),
+			InputSeed:  1,
+			Params:     specParams(p),
 		})
 	}
+	return specs
+}
+
+// Table1 measures every benchmark's precise build through the sweep engine
+// (or a remote runner). Amenable instructions are those the compiler marked
+// as targets for subword pipelining or vectorization.
+func Table1(proto Protocol) ([]Table1Row, error) {
+	jobs, err := ResolveSpecs(Table1Specs(proto))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runSweep[Table1Row](proto.runner(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table 1: %w", err)
+	}
 	return rows, nil
+}
+
+// runTable1Cell measures one benchmark: run the precise build to halt under
+// continuous power, counting amenable dynamic instructions.
+func runTable1Cell(b *workloads.Benchmark, p workloads.Params) (Table1Row, error) {
+	clk := energy.DefaultDeviceConfig().ClockHz
+	c, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return Table1Row{}, err
+	}
+	cp, _, err := bareDevice(c, b.Inputs(p, 1), false)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	cp.SetAmenablePCs(c.Program.Amenable)
+	var cycles uint64
+	for !cp.Halted {
+		res, err := cp.RunUntil(1<<62, nil)
+		if err != nil {
+			return Table1Row{}, fmt.Errorf("%s fault: %w", b.Name, err)
+		}
+		cycles += res.Cycles
+	}
+	tech := "SWV"
+	if b.Mode == compiler.ModeSWP {
+		tech = "SWP"
+	}
+	return Table1Row{
+		Benchmark:   b.Name,
+		Area:        b.Area,
+		Technique:   tech,
+		AmenablePct: 100 * float64(cp.Stats.AmenableOps) / float64(cp.Stats.Instructions),
+		Cycles:      cycles,
+		RuntimeMs:   1000 * float64(cycles) / clk,
+	}, nil
 }
 
 // PrintTable1 renders the rows in the paper's column order.

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"whatsnext/internal/sweep"
+)
+
+// Client runs sweep jobs on a remote wnserved instance. It implements
+// sweep.Runner, so a Protocol configured with it ships each study's specs
+// over HTTP instead of simulating locally: submit the batch, follow the
+// job's NDJSON stream, and reassemble the per-cell result bytes in
+// submission order. The determinism contract guarantees those bytes match
+// a local engine's output exactly.
+type Client struct {
+	base string
+	hc   *http.Client
+	// Timeout, when set, is sent with each submission as the job deadline.
+	Timeout time.Duration
+}
+
+// NewClient targets a wnserved base URL (e.g. "http://localhost:8080").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// Run implements sweep.Runner. Only each job's Spec travels; the server
+// reconstructs the Run closures from its resolver registry, so experiments
+// outside that registry fail with the server's 400 message.
+func (c *Client) Run(jobs []sweep.Job) ([]json.RawMessage, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	specs := make([]sweep.Spec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = j.Spec
+	}
+	req := submitRequest{Specs: specs}
+	if c.Timeout > 0 {
+		req.Timeout = c.Timeout.String()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode submission: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("serve: submit: %s", apiErrorString(resp))
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return nil, fmt.Errorf("serve: decode submission response: %w", err)
+	}
+	return c.follow(sub.ID, len(jobs))
+}
+
+// follow streams the job and collects its ordered results.
+func (c *Client) follow(id string, cells int) ([]json.RawMessage, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return nil, fmt.Errorf("serve: stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: stream %s: %s", id, apiErrorString(resp))
+	}
+	results := make([]json.RawMessage, cells)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20) // result lines carry whole encoded cells
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("serve: job %s: bad stream line %q: %v", id, sc.Text(), err)
+		}
+		switch e.Type {
+		case "result":
+			if e.Index < 0 || e.Index >= cells {
+				return nil, fmt.Errorf("serve: job %s: result index %d out of range", id, e.Index)
+			}
+			results[e.Index] = e.Result
+		case "done":
+			if e.State != StateDone {
+				return nil, fmt.Errorf("serve: job %s %s: %s", id, e.State, e.Error)
+			}
+			for i, r := range results {
+				if r == nil {
+					return nil, fmt.Errorf("serve: job %s: missing result %d", id, i)
+				}
+			}
+			return results, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: job %s: stream: %w", id, err)
+	}
+	return nil, fmt.Errorf("serve: job %s: stream ended without a terminal event", id)
+}
+
+// apiErrorString extracts the JSON error body (or the status) of a non-2xx
+// response, including the Retry-After hint on 429s.
+func apiErrorString(resp *http.Response) string {
+	msg := resp.Status
+	var e errorResponse
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		msg += ": " + e.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		msg += " (retry after " + ra + "s)"
+	}
+	return msg
+}

@@ -1,0 +1,122 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"whatsnext/internal/experiments"
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// TestServerTable1ByteIdentical is the acceptance check for the service
+// layer: a Table I sweep submitted over HTTP must return results
+// byte-identical to running the same jobs through a local sweep.Engine.
+// That holds because only specs travel — the server reconstructs each cell
+// from the experiments resolver registry and the determinism contract makes
+// the encoded result a pure function of the spec.
+func TestServerTable1ByteIdentical(t *testing.T) {
+	proto := experiments.DefaultProtocol()
+	specs := experiments.Table1Specs(proto)
+	jobs, err := experiments.ResolveSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := sweep.New(sweep.Options{Workers: 4}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Resolver: experiments.ResolveSpec,
+		Workers:  4,
+		Cache:    sweep.NewMemoryCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	remote, err := serve.NewClient(ts.URL).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote returned %d results, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if !bytes.Equal(remote[i], local[i]) {
+			t.Errorf("cell %d (%s): remote bytes differ from local\nremote: %s\nlocal:  %s",
+				i, specs[i].Kernel, remote[i], local[i])
+		}
+	}
+
+	// A second submission of the same specs hits the server's cache and must
+	// still return the identical bytes.
+	again, err := serve.NewClient(ts.URL).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if !bytes.Equal(again[i], local[i]) {
+			t.Errorf("cell %d: cached rerun bytes differ", i)
+		}
+	}
+
+	// The rows must also decode into the same Table I the in-process path
+	// produces, proving the resolver registry and the study enumeration
+	// cannot drift apart.
+	direct, err := experiments.Table1(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(remote) {
+		t.Fatalf("Table1 has %d rows, sweep %d", len(direct), len(remote))
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestProtocolOverHTTP wires the client into a Protocol as its Runner, so a
+// whole study runs remotely, and checks it matches the local study.
+func TestProtocolOverHTTP(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Resolver: experiments.ResolveSpec,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	local := experiments.DefaultProtocol()
+	remote := local
+	remote.Runner = serve.NewClient(ts.URL)
+
+	want, err := experiments.Table1(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := experiments.Table1(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("remote study: %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d differs: remote %+v local %+v", i, got[i], want[i])
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

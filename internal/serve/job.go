@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"whatsnext/internal/sweep"
+)
+
+// Job states. A job is terminal in StateDone, StateFailed or StateCanceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Event is one NDJSON line of a job stream. Three shapes share it:
+// "progress" (a cell finished: Index, Spec, CacheHit, WallNS, Done/Total),
+// "result" (a cell's encoded result, emitted in submission order once the
+// job completes), and "done" (the terminal event: State, Error, CacheHits).
+type Event struct {
+	Type      string          `json:"type"`
+	Index     int             `json:"index,omitempty"`
+	Spec      *sweep.Spec     `json:"spec,omitempty"`
+	CacheHit  bool            `json:"cache_hit,omitempty"`
+	WallNS    int64           `json:"wall_ns,omitempty"`
+	Done      int             `json:"done,omitempty"`
+	Total     int             `json:"total,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	State     string          `json:"state,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	CacheHits int64           `json:"cache_hits,omitempty"`
+}
+
+// jobStatus is the GET /v1/jobs/{id} body (results only when done).
+type jobStatus struct {
+	ID        string            `json:"id"`
+	State     string            `json:"state"`
+	Cells     int               `json:"cells"`
+	Done      int               `json:"done"`
+	CacheHits int64             `json:"cache_hits"`
+	Error     string            `json:"error,omitempty"`
+	Submitted time.Time         `json:"submitted"`
+	Started   *time.Time        `json:"started,omitempty"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	Results   []json.RawMessage `json:"results,omitempty"`
+}
+
+// job is one accepted submission: its specs, the resolved closures, and an
+// append-only event log that late stream subscribers replay from the start,
+// so every subscriber sees the same complete, ordered stream.
+type job struct {
+	id      string
+	specs   []sweep.Spec
+	jobs    []sweep.Job
+	timeout time.Duration
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	results   []json.RawMessage
+	doneCells int
+	cacheHits int64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	events    []json.RawMessage
+	changed   chan struct{} // closed and replaced on every append
+}
+
+func newJob(id string, specs []sweep.Spec, jobs []sweep.Job, timeout time.Duration) *job {
+	return &job{
+		id:        id,
+		specs:     specs,
+		jobs:      jobs,
+		timeout:   timeout,
+		state:     StateQueued,
+		submitted: time.Now(),
+		changed:   make(chan struct{}),
+	}
+}
+
+// appendLocked adds an event line and wakes the stream subscribers. Caller
+// holds j.mu.
+func (j *job) appendLocked(e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return // events are built from marshalable fields; unreachable
+	}
+	j.events = append(j.events, b)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+func (j *job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+}
+
+// progress records one engine progress event under job-local counters.
+func (j *job) progress(p sweep.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.doneCells++
+	if p.CacheHit {
+		j.cacheHits++
+	}
+	e := Event{
+		Type:     "progress",
+		Index:    p.Index,
+		Spec:     &p.Spec,
+		CacheHit: p.CacheHit,
+		WallNS:   int64(p.Wall),
+		Done:     j.doneCells,
+		Total:    len(j.jobs),
+	}
+	if p.Err != nil {
+		e.Error = p.Err.Error()
+	}
+	j.appendLocked(e)
+}
+
+// finish records the sweep outcome: result events in submission order (on
+// success), then the terminal event.
+func (j *job) finish(results []json.RawMessage, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.results = results
+		for i, r := range results {
+			j.appendLocked(Event{Type: "result", Index: i, Spec: &j.specs[i], Result: r})
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.appendLocked(Event{Type: "done", State: j.state, Error: j.errMsg, CacheHits: j.cacheHits})
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// status snapshots the job for the JSON API.
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cells:     len(j.jobs),
+		Done:      j.doneCells,
+		CacheHits: j.cacheHits,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+		Results:   j.results,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// wait returns the event lines from cursor on, blocking until new events
+// arrive, the job is terminal, or ctx ends. The second return is true when
+// the stream is complete (terminal job and every event delivered).
+func (j *job) wait(ctx context.Context, cursor int) ([]json.RawMessage, bool, error) {
+	for {
+		j.mu.Lock()
+		terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+		if cursor < len(j.events) {
+			batch := j.events[cursor:len(j.events):len(j.events)]
+			done := terminal && cursor+len(batch) == len(j.events)
+			j.mu.Unlock()
+			return batch, done, nil
+		}
+		if terminal {
+			j.mu.Unlock()
+			return nil, true, nil
+		}
+		ch := j.changed
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}

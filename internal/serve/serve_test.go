@@ -1,0 +1,410 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// echoResolver reconstructs a trivial deterministic cell from any spec:
+// the result is derived from the seeds alone.
+func echoResolver(s sweep.Spec) (sweep.Job, error) {
+	if s.Experiment == "" {
+		return sweep.Job{}, fmt.Errorf("empty experiment")
+	}
+	return sweep.Job{Spec: s, Run: func() (any, error) {
+		return map[string]int64{"trace": s.TraceSeed, "input": s.InputSeed}, nil
+	}}, nil
+}
+
+// blockingResolver returns cells that park on release after signalling
+// started, so tests can hold a job in flight.
+func blockingResolver(started chan<- string, release <-chan struct{}) func(sweep.Spec) (sweep.Job, error) {
+	return func(s sweep.Spec) (sweep.Job, error) {
+		return sweep.Job{Spec: s, Run: func() (any, error) {
+			started <- s.Experiment
+			<-release
+			return map[string]string{"cell": s.Experiment}, nil
+		}}, nil
+	}
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func submitSpecs(t *testing.T, url string, specs []sweep.Spec) (*http.Response, map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"specs": specs})
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func specN(n int) []sweep.Spec {
+	specs := make([]sweep.Spec, n)
+	for i := range specs {
+		specs[i] = sweep.Spec{Experiment: fmt.Sprintf("cell%d", i), TraceSeed: int64(i)}
+	}
+	return specs
+}
+
+// TestSubmitAndResults: the happy path — submit, poll to done, ordered
+// results match what the cells computed.
+func TestSubmitAndResults(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 2})
+	resp, sub := submitSpecs(t, ts.URL, specN(5))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	id := sub["id"].(string)
+	st := pollDone(t, ts.URL, id)
+	if st["state"] != "done" {
+		t.Fatalf("state %v, want done", st["state"])
+	}
+	results := st["results"].([]any)
+	if len(results) != 5 {
+		t.Fatalf("%d results, want 5", len(results))
+	}
+	for i, r := range results {
+		if got := r.(map[string]any)["trace"].(float64); got != float64(i) {
+			t.Errorf("result %d out of order: trace=%v", i, got)
+		}
+	}
+}
+
+// TestStreamSequence: the NDJSON stream delivers live progress events, then
+// results in submission order, then exactly one terminal event — and a late
+// subscriber replays the identical stream.
+func TestStreamSequence(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 4})
+	_, sub := submitSpecs(t, ts.URL, specN(6))
+	id := sub["id"].(string)
+
+	read := func() []serve.Event {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var events []serve.Event
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var e serve.Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("bad line %q: %v", sc.Text(), err)
+			}
+			events = append(events, e)
+		}
+		return events
+	}
+	first := read()
+	second := read() // replay after completion
+
+	if len(first) != 6+6+1 {
+		t.Fatalf("%d events, want 13 (6 progress + 6 results + done)", len(first))
+	}
+	for i, e := range first[:6] {
+		if e.Type != "progress" {
+			t.Errorf("event %d type %s, want progress", i, e.Type)
+		}
+	}
+	for i, e := range first[6:12] {
+		if e.Type != "result" || e.Index != i {
+			t.Errorf("result event %d: type=%s index=%d", i, e.Type, e.Index)
+		}
+	}
+	if last := first[12]; last.Type != "done" || last.State != "done" {
+		t.Errorf("terminal event %+v", last)
+	}
+	if len(second) != len(first) {
+		t.Errorf("replayed stream has %d events, first had %d", len(second), len(first))
+	}
+}
+
+// TestQueueFullShedsLoad: a full job queue rejects with 429 + Retry-After
+// while the accepted jobs still complete.
+func TestQueueFullShedsLoad(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	_, ts := newTestServer(t, serve.Config{
+		Resolver:   blockingResolver(started, release),
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	// A occupies the dispatcher...
+	respA, subA := submitSpecs(t, ts.URL, specN(1))
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("A status %d", respA.StatusCode)
+	}
+	<-started
+	// ...B fills the queue...
+	respB, subB := submitSpecs(t, ts.URL, specN(1))
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("B status %d", respB.StatusCode)
+	}
+	// ...C is shed.
+	respC, errC := submitSpecs(t, ts.URL, specN(1))
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("C status %d, want 429", respC.StatusCode)
+	}
+	if respC.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if msg := errC["error"].(string); !strings.Contains(msg, "queue full") {
+		t.Errorf("429 body %q", msg)
+	}
+	close(release)
+	for _, sub := range []map[string]any{subA, subB} {
+		if st := pollDone(t, ts.URL, sub["id"].(string)); st["state"] != "done" {
+			t.Errorf("job %v state %v after release", sub["id"], st["state"])
+		}
+	}
+}
+
+// TestShutdownDrainsInFlight: the acceptance scenario — shutdown finishes
+// the jobs already accepted while rejecting new submissions with 429.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	srv, ts := newTestServer(t, serve.Config{
+		Resolver:   blockingResolver(started, release),
+		Workers:    1,
+		QueueDepth: 4,
+	})
+	// A in flight, B queued behind it.
+	_, subA := submitSpecs(t, ts.URL, specN(1))
+	<-started
+	_, subB := submitSpecs(t, ts.URL, specN(1))
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+	waitDraining(t, srv)
+
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %v %v", resp.StatusCode, err)
+	}
+	resp, body := submitSpecs(t, ts.URL, specN(1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submission during drain got %d, want 429", resp.StatusCode)
+	}
+	if msg := body["error"].(string); !strings.Contains(msg, "draining") {
+		t.Errorf("drain rejection body %q", msg)
+	}
+
+	close(release) // let A (and then B) finish
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, sub := range []map[string]any{subA, subB} {
+		st := getStatus(t, ts.URL, sub["id"].(string))
+		if st["state"] != "done" {
+			t.Errorf("job %v state %v, want done (drained)", sub["id"], st["state"])
+		}
+		if st["results"] == nil {
+			t.Errorf("job %v drained without results", sub["id"])
+		}
+	}
+}
+
+// TestJobTimeout: a submission deadline cancels the job's remaining cells.
+func TestJobTimeout(t *testing.T) {
+	slow := func(s sweep.Spec) (sweep.Job, error) {
+		return sweep.Job{Spec: s, Run: func() (any, error) {
+			time.Sleep(30 * time.Millisecond)
+			return "x", nil
+		}}, nil
+	}
+	_, ts := newTestServer(t, serve.Config{Resolver: slow, Workers: 1})
+	body, _ := json.Marshal(map[string]any{"specs": specN(3), "timeout": "5ms"})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub map[string]any
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	st := pollDone(t, ts.URL, sub["id"].(string))
+	if st["state"] != "canceled" {
+		t.Errorf("state %v, want canceled after deadline", st["state"])
+	}
+}
+
+// TestValidation: malformed submissions are rejected before queueing.
+func TestValidation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 1, MaxCells: 4})
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(`{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated JSON: %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"specs":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty specs: %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"specs":[{"experiment":""}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("resolver-rejected spec: %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"specs":[{"experiment":"x"}],"timeout":"yesterday"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad timeout: %d, want 400", resp.StatusCode)
+	}
+	body, _ := json.Marshal(map[string]any{"specs": specN(5)})
+	if resp := post(string(body)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: %d, want 413", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %v %v", resp.StatusCode, err)
+	}
+}
+
+// TestMetricsEndpoint: the Prometheus surface carries the engine counters
+// and the serve-level queue gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	cache := sweep.NewMemoryCacheSize(2)
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 2, Cache: cache})
+	_, sub := submitSpecs(t, ts.URL, specN(5))
+	pollDone(t, ts.URL, sub["id"].(string))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"wn_sweep_cells_submitted_total 5",
+		"wn_sweep_cells_done_total 5",
+		"wn_sweep_cache_misses_total 5",
+		"wn_sweep_cache_evictions_total 3",
+		"wn_serve_jobs_submitted_total 1",
+		"wn_serve_jobs_done_total 1",
+		"wn_serve_queue_capacity 16",
+		"wn_sweep_cell_wall_seconds_count 5",
+		`wn_sweep_cell_wall_seconds_bucket{le="+Inf"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz %d", resp.StatusCode)
+	}
+}
+
+// TestClientAgainstServer: the Runner client round-trips result bytes and
+// surfaces server-side failures.
+func TestClientAgainstServer(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 2})
+	client := serve.NewClient(ts.URL)
+	jobs := make([]sweep.Job, 4)
+	for i := range jobs {
+		jobs[i] = sweep.Job{Spec: sweep.Spec{Experiment: fmt.Sprintf("c%d", i), TraceSeed: int64(i)}}
+	}
+	got, err := client.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.Serial().Run(mustResolveAll(t, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], local[i]) {
+			t.Errorf("result %d differs: remote %s local %s", i, got[i], local[i])
+		}
+	}
+	// A bad spec comes back as the server's 400 message.
+	if _, err := client.Run([]sweep.Job{{Spec: sweep.Spec{}}}); err == nil ||
+		!strings.Contains(err.Error(), "empty experiment") {
+		t.Errorf("bad spec error %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustResolveAll(t *testing.T, jobs []sweep.Job) []sweep.Job {
+	t.Helper()
+	out := make([]sweep.Job, len(jobs))
+	for i, j := range jobs {
+		r, err := echoResolver(j.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func getStatus(t *testing.T, url, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pollDone(t *testing.T, url, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, url, id)
+		switch st["state"] {
+		case "done", "failed", "canceled":
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func waitDraining(t *testing.T, srv *serve.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Draining() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server never started draining")
+}

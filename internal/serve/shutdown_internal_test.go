@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"whatsnext/internal/sweep"
+)
+
+// TestShutdownCutShort: cancelling the shutdown context aborts the
+// in-flight sweep between cells instead of waiting for the whole job.
+// White-box so the test can wait for the server's base context to
+// actually cancel before releasing the in-flight cell — otherwise the
+// release races cancellation propagation and the job may simply finish.
+func TestShutdownCutShort(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv, err := New(Config{
+		Workers:    1,
+		QueueDepth: 4,
+		Resolver: func(s sweep.Spec) (sweep.Job, error) {
+			return sweep.Job{Spec: s, Run: func() (any, error) {
+				started <- struct{}{}
+				<-release
+				return "x", nil
+			}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]sweep.Spec, 3)
+	for i := range specs {
+		specs[i] = sweep.Spec{Experiment: "cell", TraceSeed: int64(i)}
+	}
+	j, apiErr := srv.submit(submitRequest{Specs: specs})
+	if apiErr != nil {
+		t.Fatalf("submit: %v", apiErr.msg)
+	}
+	<-started // cell 0 in flight, cells 1-2 pending
+
+	ctx, cancel := context.WithCancel(context.Background())
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-srv.baseCtx.Done() // cancellation has reached the engine's context
+	close(release)       // the in-flight cell still finishes before the job ends
+
+	if err := <-shutdownDone; err != context.Canceled {
+		t.Fatalf("shutdown err %v, want context.Canceled", err)
+	}
+	st := j.status()
+	if st.State != StateCanceled {
+		t.Errorf("cut-short job state %q, want %q", st.State, StateCanceled)
+	}
+	if st.Done >= len(specs) {
+		t.Errorf("all %d cells ran despite the aborted drain", st.Done)
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"container/list"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,41 +18,86 @@ type Cache interface {
 	Put(key string, val []byte) error
 }
 
+// EvictionCounter is implemented by caches that drop entries to stay under
+// a size bound; the engine folds the count into its Metrics snapshot.
+type EvictionCounter interface {
+	Evictions() int64
+}
+
 // MemoryCache is an in-process result cache. It makes repeated sweeps in
 // one run (e.g. the same precise baseline appearing in several studies)
-// free, and backs the read path of the disk cache.
+// free, and backs the read path of the disk cache. With a positive entry
+// cap it evicts least-recently-used entries, which is what keeps a
+// resident server's heap bounded across an unbounded job stream; the
+// default (no cap) preserves the CLI behaviour where a single run's
+// working set is the right lifetime.
 type MemoryCache struct {
-	mu sync.RWMutex
-	m  map[string][]byte
+	mu        sync.Mutex
+	max       int // 0 = unbounded
+	m         map[string]*list.Element
+	ll        *list.List // front = most recently used
+	evictions atomic.Int64
 }
 
-// NewMemoryCache returns an empty in-memory cache.
-func NewMemoryCache() *MemoryCache {
-	return &MemoryCache{m: make(map[string][]byte)}
+// memEntry is the list payload: the key is carried so eviction of the back
+// element can delete its map slot.
+type memEntry struct {
+	key string
+	val []byte
 }
 
-// Get returns the cached bytes for key.
+// NewMemoryCache returns an empty, unbounded in-memory cache.
+func NewMemoryCache() *MemoryCache { return NewMemoryCacheSize(0) }
+
+// NewMemoryCacheSize returns an in-memory cache holding at most max entries
+// (LRU eviction); max <= 0 means unbounded.
+func NewMemoryCacheSize(max int) *MemoryCache {
+	if max < 0 {
+		max = 0
+	}
+	return &MemoryCache{max: max, m: make(map[string]*list.Element), ll: list.New()}
+}
+
+// Get returns the cached bytes for key, marking it most recently used.
 func (c *MemoryCache) Get(key string) ([]byte, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	v, ok := c.m[key]
-	return v, ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
 }
 
 // Put stores val under key. The caller must not mutate val afterwards.
 func (c *MemoryCache) Put(key string, val []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[key] = val
+	if el, ok := c.m[key]; ok {
+		el.Value.(*memEntry).val = val
+		c.ll.MoveToFront(el)
+		return nil
+	}
+	c.m[key] = c.ll.PushFront(&memEntry{key: key, val: val})
+	if c.max > 0 && c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*memEntry).key)
+		c.evictions.Add(1)
+	}
 	return nil
 }
 
 // Len reports the number of cached entries.
 func (c *MemoryCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
+
+// Evictions reports how many entries the cap has dropped.
+func (c *MemoryCache) Evictions() int64 { return c.evictions.Load() }
 
 // DiskCache persists results as one JSON file per spec hash in a directory,
 // with an in-memory layer in front, so a second wnbench run against the same
@@ -62,16 +108,27 @@ type DiskCache struct {
 	seq atomic.Int64 // unique temp-file suffix for atomic writes
 }
 
-// NewDiskCache opens (creating if needed) a cache directory.
+// NewDiskCache opens (creating if needed) a cache directory with an
+// unbounded memory layer.
 func NewDiskCache(dir string) (*DiskCache, error) {
+	return NewDiskCacheSize(dir, 0)
+}
+
+// NewDiskCacheSize opens a cache directory whose in-memory layer holds at
+// most maxMem entries (<= 0 for unbounded). Disk entries are never evicted;
+// a memory miss just re-reads the file.
+func NewDiskCacheSize(dir string, maxMem int) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: cache dir: %w", err)
 	}
-	return &DiskCache{dir: dir, mem: NewMemoryCache()}, nil
+	return &DiskCache{dir: dir, mem: NewMemoryCacheSize(maxMem)}, nil
 }
 
 // Dir returns the backing directory.
 func (c *DiskCache) Dir() string { return c.dir }
+
+// Evictions reports the memory layer's eviction count.
+func (c *DiskCache) Evictions() int64 { return c.mem.Evictions() }
 
 // validKey guards the filesystem against keys that are not spec hashes.
 func validKey(key string) bool {

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunContextCancel: cancelling mid-sweep skips the unstarted jobs,
+// returns ctx.Err(), and leaves the counters balanced.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 40
+	var started atomic.Int32
+	release := make(chan struct{})
+	jobs := fakeJobs(n)
+	for i := range jobs {
+		run := jobs[i].Run
+		jobs[i].Run = func() (any, error) {
+			if started.Add(1) == 1 {
+				cancel()       // first cell cancels the sweep...
+				close(release) // ...and lets the test observe it
+			}
+			<-release // every started cell sees the cancelled context
+			return run()
+		}
+	}
+	e := New(Options{Workers: 2})
+	res, err := e.RunContext(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled run returned results")
+	}
+	// At most the two in-flight cells simulated; the rest were skipped.
+	if s := started.Load(); s > 2 {
+		t.Errorf("%d cells started after cancel, want <= workers", s)
+	}
+	if m := e.Metrics(); m.Done != n {
+		t.Errorf("done=%d, want all %d accounted (simulated or skipped)", m.Done, n)
+	}
+}
+
+// TestRunContextDeadline: an already-expired context simulates nothing.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	jobs := fakeJobs(10)
+	for i := range jobs {
+		jobs[i].Run = func() (any, error) { ran.Add(1); return fakeResult{}, nil }
+	}
+	_, err := New(Options{Workers: 4}).RunContext(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d cells simulated under a dead context, want 0", n)
+	}
+}
+
+// TestRunContextBackground: RunContext with a background context is Run.
+func TestRunContextBackground(t *testing.T) {
+	ref, err := Serial().Run(fakeJobs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(Options{Workers: 4}).RunContext(context.Background(), fakeJobs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if string(ref[i]) != string(got[i]) {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+// TestProgressIndex: progress events carry the submission index of their
+// cell, whatever order they complete in.
+func TestProgressIndex(t *testing.T) {
+	seen := make(map[int]bool)
+	e := New(Options{Workers: 8, OnProgress: func(p Progress) {
+		if p.Index < 0 || p.Index >= 32 {
+			t.Errorf("index %d out of range", p.Index)
+		}
+		if p.Spec.InputSeed != int64(p.Index) {
+			t.Errorf("index %d does not match spec seed %d", p.Index, p.Spec.InputSeed)
+		}
+		seen[p.Index] = true
+	}})
+	if _, err := e.Run(fakeJobs(32)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 32 {
+		t.Errorf("saw %d distinct indices, want 32", len(seen))
+	}
+}
