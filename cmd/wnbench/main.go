@@ -21,7 +21,7 @@
 //	wnbench [-exp all|list|table1|fig1|...|areapower]
 //	        [-full] [-traces N] [-invocations N] [-out DIR] [-samples N]
 //	        [-parallel N] [-cache DIR] [-progress] [-remote URL]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-faultpoints N] [-faultbench A,B] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -47,6 +47,9 @@ type runCtx struct {
 	proto   experiments.Protocol
 	outDir  string
 	samples int
+
+	faultPoints int    // kill points per fault-injection cell
+	faultBench  string // comma-separated benchmark filter for -exp faults
 }
 
 // expEntry is one runnable experiment in the registry.
@@ -73,6 +76,7 @@ var registry = []expEntry{
 	{"fig1", "Figure 1: streaming arrival-rate study (precise drops inputs, WN keeps up)", runFig1},
 	{"ablation", "Ablations: skim points, watchdog interval, capacitor size, memo capacity, consistency mechanisms", runAblation},
 	{"env", "Extension: harvest environments (Wi-Fi, solar, thermal, motion)", runEnv},
+	{"faults", "Fault injection: strided power failures over the Table I kernels under Clank and NVP", runFaults},
 	{"areapower", "Section V-D: synthesis area/power/Fmax model", runAreaPower},
 }
 
@@ -94,6 +98,8 @@ func realMain() int {
 		cacheDir    = flag.String("cache", "", "result-cache directory (repeat runs skip simulated cells)")
 		progress    = flag.Bool("progress", false, "render live sweep progress on stderr")
 		remote      = flag.String("remote", "", "run sweeps on a wnserved instance at this base URL")
+		faultPoints = flag.Int("faultpoints", 32, "kill points per fault-injection cell (-exp faults)")
+		faultBench  = flag.String("faultbench", "", "comma-separated benchmark filter for -exp faults (default: all)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -167,7 +173,9 @@ func realMain() int {
 		proto.Runner = serve.NewClient(*remote)
 	}
 
-	err := run(*exp, proto, *outDir, *samples)
+	ctx := &runCtx{w: os.Stdout, proto: proto, outDir: *outDir, samples: *samples,
+		faultPoints: *faultPoints, faultBench: *faultBench}
+	err := run(*exp, ctx)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -205,8 +213,7 @@ func listExperiments(w io.Writer) {
 	}
 }
 
-func run(exp string, proto experiments.Protocol, outDir string, samples int) error {
-	ctx := &runCtx{w: os.Stdout, proto: proto, outDir: outDir, samples: samples}
+func run(exp string, ctx *runCtx) error {
 	for _, e := range registry {
 		if exp != "all" && exp != e.name {
 			continue
@@ -382,6 +389,25 @@ func runEnv(c *runCtx) error {
 		return err
 	}
 	experiments.PrintEnvironments(c.w, rows)
+	return nil
+}
+
+// runFaults drives the injection study and fails the invocation (non-zero
+// exit) on any witnessed divergence, so CI catches crash-consistency
+// regressions without parsing the table.
+func runFaults(c *runCtx) error {
+	var benches []string
+	if c.faultBench != "" {
+		benches = strings.Split(c.faultBench, ",")
+	}
+	rows, err := experiments.FaultStudy(c.proto, benches, c.faultPoints)
+	if err != nil {
+		return err
+	}
+	experiments.PrintFaults(c.w, rows)
+	if !experiments.FaultsClean(rows) {
+		return fmt.Errorf("fault injection witnessed crash-consistency divergences")
+	}
 	return nil
 }
 

@@ -2,32 +2,57 @@
 //
 // It assembles each .s argument (or loads each .bin as a raw image), runs
 // the internal/wncheck verifier over it, and prints one diagnostic per line
-// in file:line: form. The exit status is 1 when any file produced a
-// diagnostic at warning severity or above, 2 on usage or I/O errors.
+// in file:line: form. -crash adds the crash-consistency analysis (WN103,
+// WN104); -json switches to machine-readable output (one JSON array of
+// findings on stdout); -faults N additionally runs N strided power-failure
+// injections per file under the Clank, NVP, and undo-log runtimes and
+// reports any divergence from the uninterrupted run. The exit status is 1
+// when any file produced a diagnostic at warning severity or above (or a
+// fault-injection divergence), 2 on usage or I/O errors.
 //
 // Usage:
 //
-//	wnlint [-info] [-skim auto|require|off] [-disable WN101,WN401] file.s ...
+//	wnlint [-info] [-crash] [-json] [-faults N] [-skim auto|require|off]
+//	       [-disable WN101,WN401] [-stats] file.s ...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"whatsnext/internal/asm"
+	"whatsnext/internal/faultinject"
+	"whatsnext/internal/intermittent"
 	"whatsnext/internal/wncheck"
 )
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File        string `json:"file"`
+	Line        int    `json:"line,omitempty"`
+	PC          uint32 `json:"pc"`
+	Code        string `json:"code"`
+	Severity    string `json:"severity"`
+	Msg         string `json:"msg"`
+	Occurrences int    `json:"occurrences"`
+	RegionStart uint32 `json:"region_start,omitempty"`
+	RegionEnd   uint32 `json:"region_end,omitempty"`
+}
 
 func main() {
 	fs := flag.NewFlagSet("wnlint", flag.ExitOnError)
 	info := fs.Bool("info", false, "also report info-severity findings (WN102, WN901, WN902)")
+	crash := fs.Bool("crash", false, "run the crash-consistency analysis (WN103, WN104)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	faults := fs.Int("faults", 0, "also run N strided power-failure injections per file (0 = off)")
 	skim := fs.String("skim", "auto", "skim-placement policy: auto, require, or off")
 	disable := fs.String("disable", "", "comma-separated diagnostic codes to suppress")
 	stats := fs.Bool("stats", false, "print per-file analysis statistics")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: wnlint [-info] [-skim auto|require|off] [-disable codes] [-stats] file.s|file.bin ...")
+		fmt.Fprintln(os.Stderr, "usage: wnlint [-info] [-crash] [-json] [-faults N] [-skim auto|require|off] [-disable codes] [-stats] file.s|file.bin ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -38,7 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := wncheck.Options{Info: *info}
+	opts := wncheck.Options{Info: *info, Crash: *crash}
 	switch *skim {
 	case "auto":
 		opts.Skim = wncheck.SkimAuto
@@ -55,21 +80,56 @@ func main() {
 	}
 
 	failed := false
+	var findings []jsonFinding
 	for _, file := range fs.Args() {
-		res, err := lint(file, opts)
+		p, res, err := lint(file, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wnlint:", err)
 			os.Exit(2)
 		}
 		for _, d := range res.Diags {
-			fmt.Println(d.Format(file))
+			if *jsonOut {
+				f := jsonFinding{
+					File:        file,
+					Line:        d.Line,
+					PC:          d.Addr,
+					Code:        d.Code,
+					Severity:    d.Severity.String(),
+					Msg:         d.Msg,
+					Occurrences: d.Count,
+					RegionStart: d.RegionStart,
+					RegionEnd:   d.RegionEnd,
+				}
+				findings = append(findings, f)
+			} else {
+				fmt.Println(d.Format(file))
+			}
 		}
-		if *stats {
+		if *stats && !*jsonOut {
 			fmt.Printf("%s: %d instructions, %d blocks, %d loops, %d unreachable\n",
 				file, res.NumInstructions, res.NumBlocks, res.NumLoops, res.UnreachableIns)
 		}
 		if res.Count(wncheck.Warning) > 0 {
 			failed = true
+		}
+		if *faults > 0 {
+			if diverged, err := inject(file, p, *faults, *jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "wnlint:", err)
+				os.Exit(2)
+			} else if diverged {
+				failed = true
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "wnlint:", err)
+			os.Exit(2)
 		}
 	}
 	if failed {
@@ -79,16 +139,16 @@ func main() {
 
 // lint loads one file — assembling .s sources, treating anything else as a
 // raw program image — and verifies it.
-func lint(file string, opts wncheck.Options) (*wncheck.Result, error) {
+func lint(file string, opts wncheck.Options) (*asm.Program, *wncheck.Result, error) {
 	data, err := os.ReadFile(file)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var p *asm.Program
 	if strings.HasSuffix(file, ".s") {
 		p, err = asm.AssembleNamed(file, string(data))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else {
 		p = &asm.Program{Image: data}
@@ -99,5 +159,34 @@ func lint(file string, opts wncheck.Options) (*wncheck.Result, error) {
 			opts.Skim = wncheck.SkimOff
 		}
 	}
-	return wncheck.Check(p, opts)
+	res, err := wncheck.Check(p, opts)
+	return p, res, err
+}
+
+// inject runs the dynamic oracle: points strided power failures per
+// runtime, comparing final memory against an uninterrupted golden run.
+// Reports (on stderr, which stays human-readable under -json) and returns
+// whether any divergence was witnessed.
+func inject(file string, p *asm.Program, points int, quiet bool) (bool, error) {
+	policies := []func() intermittent.Policy{
+		func() intermittent.Policy { return intermittent.NewClank(intermittent.DefaultClankConfig()) },
+		func() intermittent.Policy { return intermittent.NewNVP(intermittent.DefaultNVPConfig()) },
+		func() intermittent.Policy { return intermittent.NewUndoLog(intermittent.DefaultUndoLogConfig()) },
+	}
+	target := faultinject.FromProgram(file, p)
+	diverged := false
+	for _, mk := range policies {
+		rep, err := faultinject.Run(target, faultinject.Config{Policy: mk},
+			faultinject.Schedule{Points: points})
+		if err != nil {
+			return false, fmt.Errorf("%s: fault injection: %w", file, err)
+		}
+		if !rep.Clean() {
+			diverged = true
+		}
+		if !quiet || !rep.Clean() {
+			fmt.Fprintln(os.Stderr, rep)
+		}
+	}
+	return diverged, nil
 }

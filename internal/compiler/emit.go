@@ -61,11 +61,12 @@ func (ra *regalloc) release(r isa.Reg) {
 	}
 }
 
-// verifyEmitted runs the static verifier over a freshly assembled program.
+// verifyEmitted runs the static verifier — including the crash-consistency
+// analysis, so every compile is self-certifying for power-failure soundness.
 // Error-severity findings in generated code are compiler bugs, so they fail
 // the compilation; warnings and info findings are left to wnlint.
 func verifyEmitted(name string, prog *asm.Program) error {
-	res, err := wncheck.Check(prog, wncheck.Options{})
+	res, err := wncheck.Check(prog, wncheck.Options{Crash: true})
 	if err != nil {
 		return fmt.Errorf("compiler: %s: verifying generated code: %w", name, err)
 	}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"whatsnext/internal/faultinject"
+	"whatsnext/internal/intermittent"
+	"whatsnext/internal/sweep"
+	"whatsnext/internal/workloads"
+)
+
+// FaultRow is one (benchmark, runtime) cell of the fault-injection study.
+type FaultRow struct {
+	Benchmark    string
+	Runtime      string
+	Points       int    // kill points injected
+	StrideCycles uint64 // mean distance between kill points
+	GoldenCycles uint64
+	Divergences  int
+	FirstWitness string // empty when clean
+}
+
+// faultRuntimes are the runtime models the study injects under.
+var faultRuntimes = []struct {
+	name   string
+	policy func() intermittent.Policy
+}{
+	{"clank", func() intermittent.Policy { return intermittent.NewClank(intermittent.DefaultClankConfig()) }},
+	{"nvp", func() intermittent.Policy { return intermittent.NewNVP(intermittent.DefaultNVPConfig()) }},
+}
+
+// FaultStudy runs strided power-failure injection over the Table I kernels
+// (precise variants — skim builds commit approximate results on the resume
+// path by design, so only precise runs owe bit-exactness) under the Clank
+// and NVP runtimes. Every cell should report zero divergences: the
+// benchmarks are certified crash-consistent by wncheck's static analysis
+// at compile time, and this study is the dynamic half of that contract.
+//
+// points is the kill-point count per cell (0 means 32); benches filters by
+// benchmark name (empty means all six).
+func FaultStudy(proto Protocol, benches []string, points int) ([]FaultRow, error) {
+	if points <= 0 {
+		points = 32
+	}
+	want := map[string]bool{}
+	for _, b := range benches {
+		want[b] = true
+	}
+	var jobs []sweep.Job
+	for _, b := range workloads.All() {
+		if len(want) > 0 && !want[b.Name] {
+			continue
+		}
+		b := b
+		p := proto.params(b)
+		for _, rt := range faultRuntimes {
+			rt := rt
+			jobs = append(jobs, sweep.Job{
+				Spec: sweep.Spec{
+					Experiment: "faults",
+					Kernel:     b.Name,
+					Variant:    PreciseVariant(b, p).String(),
+					Processor:  rt.name,
+					InputSeed:  1,
+					Params:     specParams(p, "points", itoa(points)),
+				},
+				Run: func() (any, error) { return runFaultCell(b, p, rt.name, rt.policy, points) },
+			})
+		}
+	}
+	rows, err := runSweep[FaultRow](proto.runner(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fault study: %w", err)
+	}
+	return rows, nil
+}
+
+func runFaultCell(b *workloads.Benchmark, p workloads.Params, rtName string,
+	policy func() intermittent.Policy, points int) (FaultRow, error) {
+	c, err := PreciseVariant(b, p).Compile()
+	if err != nil {
+		return FaultRow{}, err
+	}
+	target := faultinject.FromCompiled(b.Name, c, b.Inputs(p, 1))
+	rep, err := faultinject.Run(target,
+		faultinject.Config{Policy: policy},
+		faultinject.Schedule{Points: points})
+	if err != nil {
+		return FaultRow{}, err
+	}
+	row := FaultRow{
+		Benchmark:    b.Name,
+		Runtime:      rtName,
+		Points:       rep.Points,
+		StrideCycles: rep.StrideCycles,
+		GoldenCycles: rep.GoldenCycles,
+		Divergences:  len(rep.Divergences),
+	}
+	if !rep.Clean() {
+		row.FirstWitness = rep.Divergences[0].String()
+	}
+	return row, nil
+}
+
+// FaultsClean reports whether every cell survived injection, for callers
+// that want a pass/fail answer (CI).
+func FaultsClean(rows []FaultRow) bool {
+	for _, r := range rows {
+		if r.Divergences > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintFaults renders the study.
+func PrintFaults(w io.Writer, rows []FaultRow) {
+	fmt.Fprintf(w, "Fault injection: strided power failures vs uninterrupted golden run (precise variants)\n")
+	fmt.Fprintf(w, "%-10s %-8s %8s %10s %12s %11s\n", "benchmark", "runtime", "points", "stride", "golden cyc", "divergent")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-8s %8d %10d %12d %11d\n",
+			r.Benchmark, r.Runtime, r.Points, r.StrideCycles, r.GoldenCycles, r.Divergences)
+		if r.FirstWitness != "" {
+			fmt.Fprintf(w, "    first witness: %s\n", r.FirstWitness)
+		}
+	}
+}

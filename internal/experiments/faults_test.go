@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultStudyCleanCells(t *testing.T) {
+	rows, err := FaultStudy(DefaultProtocol(), []string{"MatAdd", "Home"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 benchmarks x {clank, nvp}
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Benchmark+"/"+r.Runtime] = true
+		if r.Divergences != 0 {
+			t.Errorf("%s/%s: %d divergences; first: %s", r.Benchmark, r.Runtime, r.Divergences, r.FirstWitness)
+		}
+		if r.Points != 6 || r.StrideCycles == 0 || r.GoldenCycles == 0 {
+			t.Errorf("%s/%s: implausible row %+v", r.Benchmark, r.Runtime, r)
+		}
+	}
+	for _, want := range []string{"MatAdd/clank", "MatAdd/nvp", "Home/clank", "Home/nvp"} {
+		if !seen[want] {
+			t.Errorf("missing cell %s", want)
+		}
+	}
+	if !FaultsClean(rows) {
+		t.Error("FaultsClean must agree with per-row divergence counts")
+	}
+
+	var b strings.Builder
+	PrintFaults(&b, rows)
+	if !strings.Contains(b.String(), "MatAdd") || !strings.Contains(b.String(), "clank") {
+		t.Errorf("PrintFaults output missing expected cells:\n%s", b.String())
+	}
+}

@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/compiler"
+	"whatsnext/internal/cpu"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/intermittent"
+	"whatsnext/internal/mem"
+)
+
+// Target is a program under injection: an image plus optional input
+// installation, so every run starts from an identical device state.
+type Target struct {
+	Name     string
+	Image    []byte
+	Amenable []uint32
+	// Install, when non-nil, writes the inputs into data memory after the
+	// program image is loaded.
+	Install func(m *mem.Memory) error
+}
+
+// FromProgram wraps an assembled program.
+func FromProgram(name string, p *asm.Program) Target {
+	return Target{Name: name, Image: p.Image, Amenable: p.Amenable}
+}
+
+// FromCompiled wraps a compiled kernel with its input arrays.
+func FromCompiled(name string, c *compiler.Compiled, inputs map[string][]int64) Target {
+	return Target{
+		Name:     name,
+		Image:    c.Program.Image,
+		Amenable: c.Program.Amenable,
+		Install: func(m *mem.Memory) error {
+			for in, vals := range inputs {
+				if err := c.Layout.Install(m, in, vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// noKill runs a golden (uninterrupted) execution.
+const noKill = ^uint64(0)
+
+// runResult is the observable outcome of one run: whether it halted, its
+// pure CPU cycle/instruction counts, and the final NV data region.
+type runResult struct {
+	halted bool
+	cycles uint64
+	instrs uint64
+	data   []byte
+}
+
+// runOnce executes the target on a fresh device, killing power at the
+// first instruction boundary at or after killCycle (pure CPU cycles).
+// When collect is non-nil every instruction's cost is appended, giving the
+// caller the golden run's boundary schedule.
+//
+// The loop mirrors the batched executor in internal/intermittent: windows
+// are bounded by the policy's horizon so overhead charges (watchdog
+// checkpoints) land on the exact instruction the reference path would
+// pick, and NV-data stores are routed through Step so BeforeStore hooks
+// (Clank's violation checkpoints, the undo log) retain full fidelity.
+func runOnce(t Target, cfg Config, killCycle, budget uint64, collect *[]cpu.Cost) (runResult, error) {
+	m := mem.New(cfg.Mem)
+	if err := m.LoadProgram(t.Image); err != nil {
+		return runResult{}, err
+	}
+	if t.Install != nil {
+		if err := t.Install(m); err != nil {
+			return runResult{}, err
+		}
+	}
+	c := cpu.New(m)
+	c.SetAmenablePCs(t.Amenable)
+	// The supply exists only because policies charge NV-write energy
+	// through it; the injector itself is the sole source of failures, so a
+	// token always-on trace suffices and every divergence is attributable
+	// to the kill point.
+	supply := energy.NewSupply(cfg.Device, energy.ConstantTrace(1, 10, 1))
+	policy := cfg.Policy()
+	r := intermittent.NewRunner(c, m, supply, policy)
+
+	var (
+		cycles, instrs uint64
+		killed         = killCycle == noKill
+		forceStep      bool
+		costs          []cpu.Cost
+	)
+	stepOnce := func() error {
+		cost, err := c.Step()
+		if err != nil {
+			return err
+		}
+		policy.AfterStep(cost)
+		cycles += uint64(cost.Cycles)
+		instrs++
+		if collect != nil {
+			*collect = append(*collect, cost)
+		}
+		return nil
+	}
+
+	for !c.Halted {
+		if cycles > budget {
+			return runResult{halted: false, cycles: cycles, instrs: instrs}, nil
+		}
+		if !killed && cycles >= killCycle {
+			killed = true
+			r.ForceFailure()
+			forceStep = false
+			continue
+		}
+		if forceStep {
+			forceStep = false
+			if err := stepOnce(); err != nil {
+				return runResult{}, err
+			}
+			continue
+		}
+		horizon, _ := policy.BatchHorizon()
+		if horizon == 0 {
+			// A checkpoint is due at this exact boundary; take the
+			// per-step path so it observes the right state.
+			if err := stepOnce(); err != nil {
+				return runResult{}, err
+			}
+			continue
+		}
+		win := horizon
+		if !killed {
+			if left := killCycle - cycles; left < win {
+				win = left
+			}
+		}
+		if budget != ^uint64(0) {
+			// cycles <= budget here (checked at the top of the loop), so
+			// this cannot underflow; +1 lets the window cross the budget
+			// line so the overshoot is detected.
+			if left := budget - cycles + 1; left < win {
+				win = left
+			}
+		}
+		costs = costs[:0]
+		res, err := c.RunUntil(win, &costs)
+		for _, cost := range costs {
+			policy.AfterStep(cost)
+		}
+		if collect != nil {
+			*collect = append(*collect, costs...)
+		}
+		cycles += res.Cycles
+		instrs += res.Instructions
+		if err != nil {
+			return runResult{}, fmt.Errorf("at cycle %d: %w", cycles, err)
+		}
+		forceStep = res.Reason == cpu.StopStore
+	}
+
+	out := runResult{halted: true, cycles: cycles, instrs: instrs}
+	out.data = make([]byte, cfg.Mem.DataBytes)
+	if err := m.ReadData(mem.DataBase, out.data); err != nil {
+		return runResult{}, err
+	}
+	return out, nil
+}

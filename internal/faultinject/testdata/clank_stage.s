@@ -1,0 +1,23 @@
+; Seeded hazard: SRAM staging across a Clank violation checkpoint.
+;
+; The read-modify-write of COUNT (data+8) is an idempotency violation, so
+; Clank checkpoints immediately before its store — after the SRAM store
+; above it. A power failure between that checkpoint and the SRAM load
+; re-executes the tail against wiped SRAM. NVP witnesses the same hazard
+; for any failure between the SRAM store and load. wncheck -crash flags
+; the load (WN103).
+; Golden result: OUT (data+12) = 3, COUNT (data+8) = 1.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	MOVI R1, #0
+	MOVTI R1, #8192      ; R1 = SRAM base
+	LDR R2, [R0, #0]     ; input word (0)
+	ADDI R2, R2, #3
+	STR R2, [R1, #4]     ; stage in volatile SRAM
+	LDR R5, [R0, #8]
+	ADDI R5, R5, #1
+	STR R5, [R0, #8]     ; WAR store: Clank checkpoints right before it
+	LDR R4, [R1, #4]     ; WN103: reads across the checkpoint
+	STR R4, [R0, #12]    ; OUT
+	HALT

@@ -1,0 +1,24 @@
+; Seeded hazard: a register mutated while a skim point is armed and
+; consumed by the skim-resume path.
+;
+; After SKM arms `commit`, the work loop runs and R1 is incremented. A
+; power failure anywhere in that window takes the skim path: Clank and the
+; undo log restore the checkpoint-time R1 (0), NVP resumes with whatever
+; R1 held at the failure (5 before the increment), and the store at
+; `commit` publishes the stale value. wncheck -crash flags the SKM
+; (WN104, register R1). Golden result: OUT (data+4) = 6.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	LDR R1, [R0, #0]     ; input word (0)
+	.amenable
+	ADDI R1, R1, #5      ; anytime work justifying the skim point
+	SKM commit
+	MOVI R3, #600
+work:
+	SUBIS R3, R3, #1
+	BNE work             ; a window for failures while armed
+	ADDI R1, R1, #1      ; mutates R1 with the skim still armed
+commit:
+	STR R1, [R0, #4]     ; OUT: consumes R1 on the resume path
+	HALT

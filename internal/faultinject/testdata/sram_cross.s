@@ -1,0 +1,24 @@
+; Seeded hazard: a value staged in volatile SRAM across a long window.
+;
+; The store at the top parks the result in SRAM, a spin loop stretches the
+; window past every runtime's watchdog, and the load at the bottom reads it
+; back. wncheck -crash flags the load (WN103). Dynamically: NVP resumes
+; past the lost store with SRAM wiped; Clank and the undo log take a
+; watchdog checkpoint inside the spin, so a failure after that checkpoint
+; re-executes only the tail — which re-reads the wiped SRAM word.
+; Golden result: OUT (data+4) = 7.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	MOVI R1, #0
+	MOVTI R1, #8192      ; R1 = SRAM base
+	LDR R2, [R0, #0]     ; input word (0)
+	ADDI R2, R2, #7
+	STR R2, [R1, #0]     ; stage in volatile SRAM
+	MOVI R3, #4000
+spin:
+	SUBIS R3, R3, #1
+	BNE spin             ; ~12000 cycles: outlasts the watchdogs
+	LDR R4, [R1, #0]     ; WN103: reads across possible power failures
+	STR R4, [R0, #4]     ; OUT
+	HALT

@@ -118,6 +118,19 @@ func (r *Runner) consumeSkim() {
 	}
 }
 
+// ForceFailure drives the policy through one full power-failure /
+// restore round trip at the current instruction boundary, bypassing the
+// supply model. The fault injector uses it to kill power at an exact
+// cycle regardless of how much harvested energy the trace would have
+// delivered. Restore overheads accumulate like any other policy charge
+// and are applied on the next executed instruction.
+func (r *Runner) ForceFailure() {
+	r.Policy.OnOutage()
+	ec, ee := r.Policy.OnRestore()
+	r.pendingCycles += ec
+	r.pendingEnergy += ee
+}
+
 // RunToHalt executes until HALT, riding through power outages per the
 // policy. The caller is responsible for loading the program, installing
 // inputs and resetting the CPU beforehand.

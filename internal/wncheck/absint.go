@@ -38,6 +38,12 @@ type dfState struct {
 	// amen is true when an amenable instruction may have executed since
 	// the last skim point.
 	amen bool
+	// sramStores maps word-aligned SRAM addresses that were stored at a
+	// statically known address to the earliest store site. Unlike reads,
+	// this set is never cleared: no commit boundary — skim point or
+	// checkpoint — persists SRAM, so a stored volatile word stays
+	// vulnerable until the program halts. nil unless Options.Crash.
+	sramStores map[uint32]int
 	// valid marks states that have been reached at least once.
 	valid bool
 }
@@ -62,6 +68,12 @@ func (s *dfState) clone() dfState {
 	out.written = make(map[uint32]bool, len(s.written))
 	for k := range s.written {
 		out.written[k] = true
+	}
+	if s.sramStores != nil {
+		out.sramStores = make(map[uint32]int, len(s.sramStores))
+		for k, v := range s.sramStores {
+			out.sramStores[k] = v
+		}
 	}
 	return out
 }
@@ -104,6 +116,16 @@ func (s *dfState) merge(o *dfState) bool {
 	for a := range s.written {
 		if !o.written[a] {
 			delete(s.written, a)
+			changed = true
+		}
+	}
+	for a, oi := range o.sramStores {
+		if s.sramStores == nil {
+			s.sramStores = map[uint32]int{}
+		}
+		cur, ok := s.sramStores[a]
+		if !ok || oi < cur {
+			s.sramStores[a] = oi
 			changed = true
 		}
 	}
@@ -218,13 +240,15 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 					for w := first; w <= last; w += 4 {
 						if ri, ok := s.reads[w]; ok {
 							c.reportWAR(idx, ri, w)
-							break
 						}
 					}
 				}
 				for w := first; w <= last; w += 4 {
 					s.written[w] = true
 				}
+			}
+			if c.opts.Crash {
+				c.stepCrash(s, idx, in, addr, size, check)
 			}
 		}
 	}

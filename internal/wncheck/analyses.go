@@ -73,58 +73,13 @@ func (c *checker) runLiveness() {
 	if len(c.blocks) == 0 || !c.opts.Info {
 		return
 	}
-	liveIn := make([]regSet, len(c.blocks))
-	liveOut := make([]regSet, len(c.blocks))
-
-	transfer := func(b *block, out regSet) regSet {
-		live := out
-		for i := b.end - 1; i >= b.start; i-- {
-			ins := c.ins[i]
-			if !ins.ok {
-				continue
-			}
-			if ins.in.Op == isa.OpBx {
-				// Indirect branch: the continuation is unknown, assume
-				// everything is live.
-				live = allRegs
-			}
-			if d, ok := defOf(ins.in); ok {
-				live.remove(d)
-			}
-			for _, u := range usesOf(ins.in) {
-				live.add(u)
-			}
-		}
-		return live
-	}
-
-	changed := true
-	for changed {
-		changed = false
-		for id := len(c.blocks) - 1; id >= 0; id-- {
-			b := c.blocks[id]
-			var out regSet
-			for _, s := range b.succs {
-				out |= liveIn[s]
-			}
-			if len(b.succs) == 0 && b.end > b.start {
-				if last := c.ins[b.end-1]; last.ok && last.in.Op == isa.OpBx {
-					out = allRegs
-				}
-			}
-			in := transfer(b, out)
-			if in != liveIn[id] || out != liveOut[id] {
-				liveIn[id], liveOut[id] = in, out
-				changed = true
-			}
-		}
-	}
+	c.ensureLiveness()
 
 	for _, b := range c.blocks {
 		if !b.reachable {
 			continue
 		}
-		live := liveOut[b.id]
+		live := c.liveOut[b.id]
 		// Walk backwards, checking each definition against the liveness
 		// just after it.
 		type defSite struct {

@@ -39,8 +39,13 @@ type checker struct {
 
 	inStates []dfState // converged forward in-state per block
 
+	// Block-level liveness, computed lazily (runLiveness and the crash
+	// analysis share it).
+	liveIn, liveOut []regSet
+	liveDone        bool
+
 	diags []Diagnostic
-	seen  map[diagKey]bool
+	seen  map[diagKey]int // (code, instruction) -> 1-based index into diags
 }
 
 func (c *checker) decode() {

@@ -1,0 +1,175 @@
+package wncheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/wncheck"
+)
+
+func checkSrc(t *testing.T, src string, opts wncheck.Options) []wncheck.Diagnostic {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := wncheck.Check(p, opts)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return res.Diags
+}
+
+func withCode(diags []wncheck.Diagnostic, code string) []wncheck.Diagnostic {
+	var out []wncheck.Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+const srcVolatileCross = `
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	MOVI R1, #0
+	MOVTI R1, #8192      ; R1 = SRAM base
+	LDR R2, [R0, #0]
+	STR R2, [R1, #0]     ; stage the value in volatile SRAM
+	LDR R3, [R1, #0]     ; WN103: a power failure in between wipes the word
+	STR R3, [R0, #4]
+	HALT
+`
+
+func TestCrashVolatileCross(t *testing.T) {
+	diags := checkSrc(t, srcVolatileCross, wncheck.Options{Crash: true})
+	got := withCode(diags, wncheck.CodeVolatileCross)
+	if len(got) != 1 {
+		t.Fatalf("want 1 WN103, got %d: %v", len(got), diags)
+	}
+	d := got[0]
+	if d.Severity != wncheck.Error {
+		t.Errorf("WN103 severity = %v, want Error", d.Severity)
+	}
+	// Store at instruction 5 (0x14), load at instruction 6 (0x18).
+	if d.RegionStart != 0x14 || d.RegionEnd != 0x18 {
+		t.Errorf("WN103 region = %#x..%#x, want 0x14..0x18", d.RegionStart, d.RegionEnd)
+	}
+	if d.Addr != d.RegionEnd {
+		t.Errorf("WN103 reported at %#x, want the load site %#x", d.Addr, d.RegionEnd)
+	}
+}
+
+func TestCrashOffByDefault(t *testing.T) {
+	for _, src := range []string{srcVolatileCross, srcSkimStaleReg} {
+		diags := checkSrc(t, src, wncheck.Options{})
+		if n := len(withCode(diags, wncheck.CodeVolatileCross)); n != 0 {
+			t.Errorf("WN103 reported with Crash off: %v", diags)
+		}
+		if n := len(withCode(diags, wncheck.CodeSkimStaleReg)); n != 0 {
+			t.Errorf("WN104 reported with Crash off: %v", diags)
+		}
+	}
+}
+
+// A skim point commits anytime results to non-volatile memory; it does not
+// persist SRAM, so a volatile crossing spanning a SKM is still a hazard.
+func TestCrashSkimDoesNotCommitSRAM(t *testing.T) {
+	const src = `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R1, #0
+	MOVTI R1, #8192
+	LDR R2, [R0, #0]
+	STR R2, [R1, #0]
+	SKM end
+	LDR R3, [R1, #0]     ; WN103: the SKM in between is no commit for SRAM
+	STR R3, [R0, #4]
+end:
+	HALT
+`
+	diags := checkSrc(t, src, wncheck.Options{Crash: true})
+	if n := len(withCode(diags, wncheck.CodeVolatileCross)); n != 1 {
+		t.Fatalf("want 1 WN103 across the SKM, got %d: %v", n, diags)
+	}
+}
+
+const srcSkimStaleReg = `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	.amenable
+	ADDI R1, R1, #5
+	SKM commit
+	ADDI R1, R1, #1      ; mutates R1 while the skim is armed
+commit:
+	STR R1, [R0, #4]     ; R1 is live at the skim-resume target
+	HALT
+`
+
+func TestCrashSkimStaleReg(t *testing.T) {
+	diags := checkSrc(t, srcSkimStaleReg, wncheck.Options{Crash: true})
+	got := withCode(diags, wncheck.CodeSkimStaleReg)
+	if len(got) != 1 {
+		t.Fatalf("want 1 WN104, got %d: %v", len(got), diags)
+	}
+	d := got[0]
+	if d.Severity != wncheck.Error {
+		t.Errorf("WN104 severity = %v, want Error", d.Severity)
+	}
+	if !strings.Contains(d.Msg, "R1") {
+		t.Errorf("WN104 should name R1: %q", d.Msg)
+	}
+	if strings.Contains(d.Msg, "R0") {
+		t.Errorf("R0 is live but never written while armed; msg = %q", d.Msg)
+	}
+	// SKM at instruction 4 (0x10), target at instruction 6 (0x18).
+	if d.RegionStart != 0x10 || d.RegionEnd != 0x18 {
+		t.Errorf("WN104 region = %#x..%#x, want 0x10..0x18", d.RegionStart, d.RegionEnd)
+	}
+}
+
+// The compiled-code idiom: the skim target consumes nothing that the armed
+// interval writes, so the resume path is clean.
+func TestCrashSkimCleanResume(t *testing.T) {
+	const src = `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	.amenable
+	ADDI R1, R1, #5
+	SKM commit
+commit:
+	STR R1, [R0, #4]
+	HALT
+`
+	diags := checkSrc(t, src, wncheck.Options{Crash: true})
+	if n := len(withCode(diags, wncheck.CodeSkimStaleReg)); n != 0 {
+		t.Fatalf("unexpected WN104: %v", diags)
+	}
+	if n := len(withCode(diags, wncheck.CodeVolatileCross)); n != 0 {
+		t.Fatalf("unexpected WN103: %v", diags)
+	}
+}
+
+// Repeated findings at the same (code, instruction) collapse into one
+// diagnostic carrying an occurrence count.
+func TestDiagnosticOccurrenceCount(t *testing.T) {
+	const src = `
+	ADD R1, R0, R0
+	HALT
+`
+	diags := checkSrc(t, src, wncheck.Options{Info: true})
+	got := withCode(diags, wncheck.CodeUninitRead)
+	if len(got) != 1 {
+		t.Fatalf("want 1 collapsed WN902, got %d: %v", len(got), diags)
+	}
+	if got[0].Count != 2 {
+		t.Errorf("Count = %d, want 2 (R0 read twice)", got[0].Count)
+	}
+	if !strings.Contains(got[0].String(), "(2 occurrences)") {
+		t.Errorf("String() should render the count: %q", got[0].String())
+	}
+}

@@ -24,6 +24,19 @@
 //	       compiler's cross-pass commit idiom LDR X; ADD; STR X; SKM. The
 //	       Clank runtime forces a checkpoint before the store, which makes
 //	       it safe at the cost of one checkpoint (info).
+//	WN103  Volatile state crossing a possible power failure (crash
+//	       analysis, Options.Crash): a volatile SRAM word is written and
+//	       later read with at least one instruction boundary in between.
+//	       An outage at that boundary wipes SRAM under every runtime —
+//	       NVP resumes past the lost store, and Clank/undo-log
+//	       re-execution from a mid-interval checkpoint re-reads the wiped
+//	       word — so the read observes zeros instead of the stored value.
+//	WN104  Stale registers on the skim-resume path (crash analysis): a
+//	       register is live at a skim target and written while the skim
+//	       is armed. After an outage the restore path jumps to the target
+//	       with checkpoint-time (Clank, undo log) or interruption-time
+//	       (NVP) register values, not the fall-through values, so the
+//	       committed result differs from any uninterrupted execution.
 //	WN201  A loop containing amenable instructions has no skim point armed
 //	       on entry and none reachable from the loop.
 //	WN202  A skim point that is not reachable from any amenable
@@ -46,6 +59,17 @@
 //	WN405  Execution can run off the end of the image.
 //	WN901  A register write whose value is never read (info).
 //	WN902  A register read that may precede any write (info).
+//
+// The WN10x family is the crash-consistency (failure-atomicity) analysis.
+// Non-volatile data is failure-atomic between commit boundaries — skim
+// points and the runtime's checkpoints — and WN101/WN102 police writes that
+// break re-execution within such a region. Volatile SRAM has no commit
+// boundary at all (every runtime wipes it on an outage and nothing restores
+// it), so any value that crosses an instruction boundary through SRAM is a
+// hazard (WN103); likewise registers that reach a skim-resume target carry
+// restore-time rather than fall-through values (WN104). WN103/WN104 run
+// only when Options.Crash is set; internal/faultinject is the dynamic
+// oracle that witnesses each of these hazards as a real memory divergence.
 //
 // Severities: errors break the build (the compiler's post-emit hook and
 // wnlint both fail on them), warnings fail wnlint only, info diagnostics are
@@ -84,22 +108,24 @@ func (s Severity) String() string {
 
 // Diagnostic codes, grouped by family.
 const (
-	CodeWARAmenable = "WN101" // WAR hazard through anytime work
-	CodeWARPlain    = "WN102" // WAR handled by a forced Clank checkpoint
-	CodeSkimMissing = "WN201" // amenable loop with no skim coverage
-	CodeSkimOrphan  = "WN202" // skim point no anytime work reaches
-	CodeSkimTarget  = "WN203" // invalid skim target
-	CodeASPPosition = "WN301" // MUL_ASP position overflows the result
-	CodeIllegalOp   = "WN302" // reachable word does not decode
-	CodeMisaligned  = "WN303" // misaligned access at known address
-	CodeAnytimeReg  = "WN304" // ASP/ASV on SP/LR/PC
-	CodeUnreachable = "WN401" // unreachable block
-	CodeBranchRange = "WN402" // branch target outside the image
-	CodeOOBAccess   = "WN403" // access outside every memory region
-	CodeCodeWrite   = "WN404" // store into instruction memory
-	CodeMissingHalt = "WN405" // execution runs off the image end
-	CodeDeadWrite   = "WN901" // register write never read
-	CodeUninitRead  = "WN902" // register read before any write
+	CodeWARAmenable   = "WN101" // WAR hazard through anytime work
+	CodeWARPlain      = "WN102" // WAR handled by a forced Clank checkpoint
+	CodeVolatileCross = "WN103" // volatile SRAM value crossing a possible power failure
+	CodeSkimStaleReg  = "WN104" // stale register live at a skim-resume target
+	CodeSkimMissing   = "WN201" // amenable loop with no skim coverage
+	CodeSkimOrphan    = "WN202" // skim point no anytime work reaches
+	CodeSkimTarget    = "WN203" // invalid skim target
+	CodeASPPosition   = "WN301" // MUL_ASP position overflows the result
+	CodeIllegalOp     = "WN302" // reachable word does not decode
+	CodeMisaligned    = "WN303" // misaligned access at known address
+	CodeAnytimeReg    = "WN304" // ASP/ASV on SP/LR/PC
+	CodeUnreachable   = "WN401" // unreachable block
+	CodeBranchRange   = "WN402" // branch target outside the image
+	CodeOOBAccess     = "WN403" // access outside every memory region
+	CodeCodeWrite     = "WN404" // store into instruction memory
+	CodeMissingHalt   = "WN405" // execution runs off the image end
+	CodeDeadWrite     = "WN901" // register write never read
+	CodeUninitRead    = "WN902" // register read before any write
 )
 
 // Diagnostic is one finding, anchored to an instruction.
@@ -111,6 +137,25 @@ type Diagnostic struct {
 	Line     int    // 1-based source line, 0 when no line table is available
 	Source   string // source text of the instruction, when available
 	Msg      string
+
+	// Count is how many hazards collapsed into this diagnostic: repeated
+	// reports at the same (code, instruction) pair — a loop body reached
+	// along several paths, a load covering several hazardous words — bump
+	// the count instead of repeating the finding.
+	Count int
+
+	// RegionStart and RegionEnd delimit the vulnerable code interval of a
+	// crash-consistency finding (WN103: store..load, WN104: skim..target),
+	// as absolute instruction addresses. Both zero when not applicable.
+	RegionStart, RegionEnd uint32
+}
+
+// occurrences renders the collapsed-report suffix.
+func (d Diagnostic) occurrences() string {
+	if d.Count > 1 {
+		return fmt.Sprintf(" (%d occurrences)", d.Count)
+	}
+	return ""
 }
 
 func (d Diagnostic) String() string {
@@ -118,7 +163,7 @@ func (d Diagnostic) String() string {
 	if d.Line > 0 {
 		at = fmt.Sprintf("line %d", d.Line)
 	}
-	return fmt.Sprintf("%s %s at %s: %s", d.Code, d.Severity, at, d.Msg)
+	return fmt.Sprintf("%s %s at %s: %s%s", d.Code, d.Severity, at, d.Msg, d.occurrences())
 }
 
 // Format renders a diagnostic in file:line: form for tool output.
@@ -130,7 +175,7 @@ func (d Diagnostic) Format(file string) string {
 	if d.Line > 0 {
 		loc = fmt.Sprintf("%s:%d", file, d.Line)
 	}
-	return fmt.Sprintf("%s: %s %s: %s", loc, d.Code, d.Severity, d.Msg)
+	return fmt.Sprintf("%s: %s %s: %s%s", loc, d.Code, d.Severity, d.Msg, d.occurrences())
 }
 
 // SkimPolicy controls the skim-placement checks (WN201, WN202), which only
@@ -156,6 +201,12 @@ type Options struct {
 	Skim SkimPolicy
 	// Info includes the info-severity dataflow findings (WN901, WN902).
 	Info bool
+	// Crash enables the crash-consistency analysis (WN103, WN104): state
+	// that a power failure at an arbitrary instruction boundary would
+	// corrupt under the intermittent runtimes. Off by default because raw
+	// single-run programs need not be outage-safe; the compiler's post-emit
+	// hook and wnlint -crash turn it on.
+	Crash bool
 	// Disable suppresses the listed diagnostic codes.
 	Disable []string
 }
@@ -211,7 +262,7 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 		prog:     p,
 		opts:     opts,
 		disabled: make(map[string]bool, len(opts.Disable)),
-		seen:     make(map[diagKey]bool),
+		seen:     make(map[diagKey]int),
 	}
 	for _, code := range opts.Disable {
 		c.disabled[code] = true
@@ -224,6 +275,7 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 
 	c.runForward()  // constants, read sets, skim arming + WN1xx/2xx/3xx/4xx
 	c.checkBlocks() // unreachable code, fall-off-the-end, loop coverage
+	c.runCrash()    // WN104 (WN103 piggybacks on the forward pass)
 	c.runLiveness() // WN901
 	c.runReaching() // WN902
 
@@ -252,9 +304,16 @@ type diagKey struct {
 	idx  int
 }
 
-// report files a diagnostic for the instruction at index idx, deduplicating
-// by (code, instruction).
+// report files a diagnostic for the instruction at index idx. Repeated
+// reports at the same (code, instruction) pair collapse into the first
+// diagnostic, bumping its occurrence count.
 func (c *checker) report(code string, sev Severity, idx int, format string, args ...any) {
+	c.reportRegion(code, sev, idx, 0, 0, format, args...)
+}
+
+// reportRegion is report with a vulnerable-interval annotation, used by the
+// crash-consistency findings.
+func (c *checker) reportRegion(code string, sev Severity, idx int, regionStart, regionEnd uint32, format string, args ...any) {
 	if c.disabled[code] {
 		return
 	}
@@ -262,16 +321,19 @@ func (c *checker) report(code string, sev Severity, idx int, format string, args
 		return
 	}
 	k := diagKey{code, idx}
-	if c.seen[k] {
+	if j := c.seen[k]; j > 0 {
+		c.diags[j-1].Count++
 		return
 	}
-	c.seen[k] = true
 	d := Diagnostic{
-		Code:     code,
-		Severity: sev,
-		Index:    idx,
-		Addr:     mem.CodeBase + uint32(idx*isa.InstBytes),
-		Msg:      fmt.Sprintf(format, args...),
+		Code:        code,
+		Severity:    sev,
+		Index:       idx,
+		Addr:        mem.CodeBase + uint32(idx*isa.InstBytes),
+		Msg:         fmt.Sprintf(format, args...),
+		Count:       1,
+		RegionStart: regionStart,
+		RegionEnd:   regionEnd,
 	}
 	if idx < len(c.prog.Lines) {
 		d.Line = c.prog.Lines[idx]
@@ -280,4 +342,5 @@ func (c *checker) report(code string, sev Severity, idx int, format string, args
 		d.Source = c.prog.Source[idx]
 	}
 	c.diags = append(c.diags, d)
+	c.seen[k] = len(c.diags)
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# faultinject-smoke.sh: CI smoke test of the crash-consistency contract.
+#
+# 1. Statically certifies every shipped WN program with the crash analysis
+#    (-crash) — any WN10x error fails the build. The seeded-hazard programs
+#    under internal/wncheck/testdata and internal/faultinject/testdata are
+#    excluded: their violations are the test corpus.
+# 2. Confirms the seeded-hazard corpus still IS flagged and that the
+#    injector witnesses each flag dynamically (-faults).
+# 3. Runs stride-sampled power-failure injection over two Table I kernels
+#    under both the Clank and NVP runtimes; wnbench exits non-zero on any
+#    divergence from the uninterrupted golden run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "faultinject-smoke: certifying shipped programs (-crash)"
+# shellcheck disable=SC2046
+go run ./cmd/wnlint -crash $(git ls-files '*.s' ':!internal/wncheck/testdata/' ':!internal/faultinject/testdata/')
+
+echo "faultinject-smoke: seeded hazards must be flagged AND witnessed"
+for f in internal/faultinject/testdata/*.s; do
+    if go run ./cmd/wnlint -crash -faults 24 "$f" >/dev/null 2>&1; then
+        echo "faultinject-smoke: $f was expected to fail the crash checks"
+        exit 1
+    fi
+done
+
+echo "faultinject-smoke: strided injection over Conv2d + Home (clank, nvp)"
+go run ./cmd/wnbench -exp faults -faultbench Conv2d,Home -faultpoints 8
+
+echo "faultinject-smoke: OK"
