@@ -10,17 +10,20 @@
 // line while the sweep runs.
 //
 // With -remote URL the cells are not simulated locally at all: each study's
-// specs are submitted to a wnserved instance and the streamed results are
-// reassembled in place. The determinism contract makes remote output
-// byte-identical to a local run. Only experiments in the server's resolver
+// specs are submitted to a wnserved instance — or a wncluster coordinator,
+// which speaks the same protocol — and the streamed results are reassembled
+// in place. The determinism contract makes remote output byte-identical to
+// a local run at any topology. Only experiments in the server's resolver
 // registry (see `wnserved` startup output) can run remotely; -parallel and
-// -cache then apply on the server, not here.
+// -cache then apply on the server, not here. -remote-retries bounds how
+// often a shed (429) or transiently failing submission is retried, and a
+// dropped result stream resumes from its last-seen event.
 //
 // Usage:
 //
 //	wnbench [-exp all|list|table1|fig1|...|areapower]
 //	        [-full] [-traces N] [-invocations N] [-out DIR] [-samples N]
-//	        [-parallel N] [-cache DIR] [-progress] [-remote URL]
+//	        [-parallel N] [-cache DIR] [-progress] [-remote URL] [-remote-retries N]
 //	        [-faultpoints N] [-faultbench A,B] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -88,20 +91,21 @@ func main() {
 // deferred profile writers installed below always flush.
 func realMain() int {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run ('list' enumerates)")
-		full        = flag.Bool("full", false, "paper protocol: 9 traces x 3 invocations, paper-scale inputs")
-		traces      = flag.Int("traces", 0, "override number of harvest traces")
-		invocations = flag.Int("invocations", 0, "override invocations per trace")
-		outDir      = flag.String("out", "out", "directory for generated images and CSVs")
-		samples     = flag.Int("samples", 120, "points per runtime-quality curve")
-		parallel    = flag.Int("parallel", 0, "sweep workers (0 = all CPUs, 1 = serial)")
-		cacheDir    = flag.String("cache", "", "result-cache directory (repeat runs skip simulated cells)")
-		progress    = flag.Bool("progress", false, "render live sweep progress on stderr")
-		remote      = flag.String("remote", "", "run sweeps on a wnserved instance at this base URL")
-		faultPoints = flag.Int("faultpoints", 32, "kill points per fault-injection cell (-exp faults)")
-		faultBench  = flag.String("faultbench", "", "comma-separated benchmark filter for -exp faults (default: all)")
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		exp           = flag.String("exp", "all", "experiment to run ('list' enumerates)")
+		full          = flag.Bool("full", false, "paper protocol: 9 traces x 3 invocations, paper-scale inputs")
+		traces        = flag.Int("traces", 0, "override number of harvest traces")
+		invocations   = flag.Int("invocations", 0, "override invocations per trace")
+		outDir        = flag.String("out", "out", "directory for generated images and CSVs")
+		samples       = flag.Int("samples", 120, "points per runtime-quality curve")
+		parallel      = flag.Int("parallel", 0, "sweep workers (0 = all CPUs, 1 = serial)")
+		cacheDir      = flag.String("cache", "", "result-cache directory (repeat runs skip simulated cells)")
+		progress      = flag.Bool("progress", false, "render live sweep progress on stderr")
+		remote        = flag.String("remote", "", "run sweeps on a wnserved or wncluster instance at this base URL")
+		remoteRetries = flag.Int("remote-retries", 3, "retry budget per remote submission/stream (429 and transient failures)")
+		faultPoints   = flag.Int("faultpoints", 32, "kill points per fault-injection cell (-exp faults)")
+		faultBench    = flag.String("faultbench", "", "comma-separated benchmark filter for -exp faults (default: all)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -170,7 +174,9 @@ func realMain() int {
 	eng := sweep.New(opts)
 	proto.Engine = eng
 	if *remote != "" {
-		proto.Runner = serve.NewClient(*remote)
+		cl := serve.NewClient(*remote)
+		cl.Retries = *remoteRetries
+		proto.Runner = cl
 	}
 
 	ctx := &runCtx{w: os.Stdout, proto: proto, outDir: *outDir, samples: *samples,

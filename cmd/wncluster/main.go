@@ -1,0 +1,158 @@
+// Command wncluster coordinates N wnserved workers into one logical sweep
+// engine. It serves the same HTTP API as a single wnserved — POST a batch
+// of sweep specs, stream NDJSON progress and results — but consistent-
+// hashes each cell's spec key across the worker ring, dispatches the shards
+// in parallel, hedges shards stuck on slow or dead workers onto the next
+// ring node, lets idle workers steal queued shards, and re-interleaves the
+// per-cell results into submission order. Output is byte-identical to a
+// single local sweep, at any cluster size — `wnbench -remote` targets a
+// coordinator URL transparently.
+//
+// Cluster-only endpoints:
+//
+//	GET /v1/cluster     ring membership + per-node health and counters
+//	GET /v1/cache/{key} federated result cache (workers read through it)
+//	GET /metrics        Prometheus text, with per-node labeled series
+//
+// Usage:
+//
+//	wncluster -workers http://h1:8080,http://h2:8080 [-addr :9090]
+//	          [-vnodes N] [-shard-cells N] [-hedge D] [-retries N]
+//	          [-cache-mem N] [-queue N] [-max-cells N] [-timeout D]
+//	          [-drain D] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"whatsnext/internal/cluster"
+	"whatsnext/internal/experiments"
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		addr       = flag.String("addr", ":9090", "listen address (use :0 for an ephemeral port)")
+		workers    = flag.String("workers", "", "comma-separated wnserved base URLs (required)")
+		vnodes     = flag.Int("vnodes", 64, "virtual ring points per worker")
+		shardCells = flag.Int("shard-cells", 4, "cells per dispatched shard (steal/hedge granularity)")
+		hedge      = flag.Duration("hedge", 10*time.Second, "duplicate a shard onto the next ring node after this long")
+		retries    = flag.Int("retries", 2, "per-shard HTTP retries against one worker (429/transport)")
+		cacheMem   = flag.Int("cache-mem", 16384, "federated result cache entries (0 = unbounded)")
+		queue      = flag.Int("queue", 16, "job queue depth before submissions are shed with 429")
+		maxCells   = flag.Int("max-cells", 4096, "largest accepted batch")
+		timeout    = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		quiet      = flag.Bool("quiet", false, "suppress request logs")
+	)
+	flag.Parse()
+
+	urls := splitWorkers(*workers)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "wncluster: -workers is required (comma-separated wnserved URLs)")
+		return 2
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	members := make([]cluster.Worker, len(urls))
+	for i, u := range urls {
+		cl := serve.NewClient(u)
+		cl.Retries = *retries
+		members[i] = cluster.Worker{Name: cl.Base(), Runner: cl}
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Workers:        members,
+		Resolver:       experiments.ResolveSpec,
+		VirtualNodes:   *vnodes,
+		ShardCells:     *shardCells,
+		HedgeAfter:     *hedge,
+		Cache:          sweep.NewMemoryCacheSize(*cacheMem),
+		QueueDepth:     *queue,
+		MaxCells:       *maxCells,
+		DefaultTimeout: *timeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wncluster:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wncluster:", err)
+		return 1
+	}
+	// Print the resolved address on stdout so scripts can parse the port
+	// when listening on :0.
+	fmt.Printf("wncluster: listening on http://%s\n", hostport(ln.Addr().(*net.TCPAddr)))
+	fmt.Printf("wncluster: ring of %d workers (%d vnodes each): %s\n",
+		len(urls), *vnodes, strings.Join(urls, ", "))
+
+	hs := &http.Server{Handler: coord.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("wncluster: %s: draining (budget %s; signal again to abort)\n", sig, *drain)
+	case err := <-httpErr:
+		fmt.Fprintln(os.Stderr, "wncluster:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		<-sigs
+		fmt.Println("wncluster: aborting in-flight work")
+		cancel()
+	}()
+	if err := coord.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wncluster: drain cut short:", err)
+	}
+	hs.Shutdown(context.Background())
+	fmt.Println("wncluster: bye")
+	return 0
+}
+
+// splitWorkers parses the comma-separated worker list, dropping empties.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// hostport renders a dialable address: a wildcard listen comes back as
+// localhost so the printed URL works directly in curl.
+func hostport(a *net.TCPAddr) string {
+	if a.IP == nil || a.IP.IsUnspecified() {
+		return fmt.Sprintf("localhost:%d", a.Port)
+	}
+	return a.String()
+}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// The coordinator speaks the exact wire protocol a single wnserved does —
+// same request/response bodies, same NDJSON event stream, same shed
+// semantics — so serve.Client (and therefore `wnbench -remote`) targets a
+// coordinator URL with no flag changes. The cluster-only surface is
+// GET /v1/cluster (ring membership and per-node health) and the per-node
+// labels on /metrics.
+
+// apiError is a status code plus a message for the JSON error body.
+type apiError struct {
+	code int
+	msg  string
+}
+
+// submitRequest is the POST /v1/jobs body (wire-compatible with serve).
+type submitRequest struct {
+	Specs   []sweep.Spec `json:"specs"`
+	Timeout string       `json:"timeout,omitempty"`
+}
+
+// submitResponse is the 202 body.
+type submitResponse struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Cells     int    `json:"cells"`
+	StatusURL string `json:"status_url"`
+	StreamURL string `json:"stream_url"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// Handler mounts the coordinator API with request logging.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStream)
+	mux.HandleFunc("GET /v1/cluster", c.handleCluster)
+	mux.HandleFunc("GET /v1/cache/{key}", c.handleCachePeek)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	return c.logRequests(mux)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	j, apiErr := c.submit(req)
+	if apiErr != nil {
+		if apiErr.code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(int((c.cfg.RetryAfter+time.Second-1)/time.Second)))
+		}
+		writeJSON(w, apiErr.code, errorResponse{Error: apiErr.msg})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:        j.id,
+		State:     serve.StateQueued,
+		Cells:     len(j.specs),
+		StatusURL: "/v1/jobs/" + j.id,
+		StreamURL: "/v1/jobs/" + j.id + "/stream",
+	})
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{Jobs: c.list()})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStream replays the job's event log as NDJSON, resuming from
+// ?cursor=N like a single server.
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	cursor := 0
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad cursor %q", raw)})
+			return
+		}
+		cursor = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for {
+		batch, done, err := j.wait(r.Context(), cursor)
+		if err != nil {
+			return // client went away
+		}
+		for _, line := range batch {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		cursor += len(batch)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// ClusterStatus is the GET /v1/cluster body: ring shape plus per-node
+// health and dispatch counters.
+type ClusterStatus struct {
+	Nodes        []NodeStatus `json:"nodes"`
+	VirtualNodes int          `json:"virtual_nodes"`
+	ShardCells   int          `json:"shard_cells"`
+	HedgeAfter   string       `json:"hedge_after"`
+	Draining     bool         `json:"draining"`
+}
+
+// Status snapshots the cluster for /v1/cluster (also used by tests).
+func (c *Coordinator) Status() ClusterStatus {
+	st := ClusterStatus{
+		VirtualNodes: c.ring.VirtualNodes(),
+		ShardCells:   c.cfg.ShardCells,
+		HedgeAfter:   c.cfg.HedgeAfter.String(),
+		Draining:     c.Draining(),
+	}
+	for _, name := range c.order {
+		st.Nodes = append(st.Nodes, c.nodes[name].snapshot())
+	}
+	return st
+}
+
+func (c *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handleCachePeek serves the coordinator's federated result cache — the
+// read-through target for workers that miss locally.
+func (c *Coordinator) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !sweep.ValidCacheKey(key) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed cache key"})
+		return
+	}
+	if c.cfg.Cache == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no cache configured"})
+		return
+	}
+	b, ok := c.cfg.Cache.Get(key)
+	if !ok {
+		c.peekMisses.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "not cached"})
+		return
+	}
+	c.peekHits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if c.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// logRequests emits one structured line per request.
+func (c *Coordinator) logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		c.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"bytes", sw.bytes,
+			"dur", time.Since(start).Round(time.Microsecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// statusWriter records status and bytes for the request log and forwards
+// Flush so NDJSON streaming works through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

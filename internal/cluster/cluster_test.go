@@ -1,0 +1,286 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"whatsnext/internal/cluster"
+	"whatsnext/internal/experiments"
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// The end-to-end acceptance check for the cluster layer: real wnserved
+// workers behind real HTTP, a real coordinator in front, and the paper's
+// Table I as the workload. The determinism contract extends across
+// topology — any worker count must reproduce a single local engine's bytes.
+
+// startWorker boots an in-process wnserved with the experiments resolver
+// and returns its base URL.
+func startWorker(t *testing.T) string {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		Resolver: experiments.ResolveSpec,
+		Workers:  2,
+		Cache:    sweep.NewMemoryCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+	})
+	return ts.URL
+}
+
+// startCoordinator fronts the given worker URLs with a coordinator and
+// returns its base URL plus the Coordinator for counter inspection.
+func startCoordinator(t *testing.T, workerURLs []string, cache sweep.Cache) (string, *cluster.Coordinator) {
+	t.Helper()
+	members := make([]cluster.Worker, len(workerURLs))
+	for i, u := range workerURLs {
+		members[i] = cluster.Worker{Name: u, Runner: serve.NewClient(u)}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers:    members,
+		Resolver:   experiments.ResolveSpec,
+		ShardCells: 2,
+		Cache:      cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		coord.Shutdown(context.Background())
+	})
+	return ts.URL, coord
+}
+
+// TestClusterTable1ByteIdentical runs the paper's Table I sweep three ways —
+// a local engine, a 1-worker cluster, and a 3-worker cluster — through the
+// unchanged serve.Client, and requires all three byte-identical.
+func TestClusterTable1ByteIdentical(t *testing.T) {
+	specs := experiments.Table1Specs(experiments.DefaultProtocol())
+	jobs, err := experiments.ResolveSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.New(sweep.Options{Workers: 4}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one, _ := startCoordinator(t, []string{startWorker(t)}, nil)
+	three, coord3 := startCoordinator(t,
+		[]string{startWorker(t), startWorker(t), startWorker(t)}, sweep.NewMemoryCache())
+
+	for _, tc := range []struct {
+		name string
+		url  string
+	}{
+		{"one-worker", one},
+		{"three-workers", three},
+	} {
+		got, err := serve.NewClient(tc.url).Run(jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(got) != len(local) {
+			t.Fatalf("%s: %d results, want %d", tc.name, len(got), len(local))
+		}
+		for i := range local {
+			if !bytes.Equal(got[i], local[i]) {
+				t.Errorf("%s: cell %d (%s) differs from local engine\ncluster: %s\nlocal:   %s",
+					tc.name, i, specs[i].Kernel, got[i], local[i])
+			}
+		}
+	}
+
+	// The 3-worker ring must actually have spread the shards: at least two
+	// nodes completed work.
+	st := coord3.Status()
+	if len(st.Nodes) != 3 {
+		t.Fatalf("/v1/cluster reports %d nodes, want 3", len(st.Nodes))
+	}
+	busy := 0
+	for _, n := range st.Nodes {
+		if n.Completed > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 3 nodes completed shards — ring did not spread the sweep", busy)
+	}
+
+	// Resubmission is served from the coordinator's cache without touching
+	// the ring again.
+	dispatchedBefore := int64(0)
+	for _, n := range coord3.Status().Nodes {
+		dispatchedBefore += n.Dispatched
+	}
+	again, err := serve.NewClient(three).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if !bytes.Equal(again[i], local[i]) {
+			t.Errorf("cached rerun: cell %d differs", i)
+		}
+	}
+	dispatchedAfter := int64(0)
+	for _, n := range coord3.Status().Nodes {
+		dispatchedAfter += n.Dispatched
+	}
+	if dispatchedAfter != dispatchedBefore {
+		t.Errorf("cached rerun dispatched %d new shards, want 0", dispatchedAfter-dispatchedBefore)
+	}
+}
+
+// TestClusterWireCompatibility checks the coordinator's HTTP surface against
+// the bits serve.Client depends on, plus the cluster-only endpoints.
+func TestClusterWireCompatibility(t *testing.T) {
+	url, _ := startCoordinator(t, []string{startWorker(t)}, sweep.NewMemoryCache())
+
+	// Bad submissions map to the single-server status codes.
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"specs":[]}`, http.StatusBadRequest},
+		{`{"specs":[{"experiment":"nope"}]}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	// /v1/cluster and /metrics respond.
+	resp, err := http.Get(url + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /v1/cluster: %v", err)
+	}
+	resp.Body.Close()
+	if len(st.Nodes) != 1 {
+		t.Errorf("/v1/cluster: %d nodes, want 1", len(st.Nodes))
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"wn_cluster_jobs_submitted_total",
+		"wn_cluster_shards_dispatched_total{node=",
+		"wn_cluster_node_up{node=",
+	} {
+		if !bytes.Contains(body, []byte(metric)) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	// Malformed cache keys are rejected, unknown ones 404.
+	for key, want := range map[string]int{
+		"zz": http.StatusBadRequest,
+		"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef": http.StatusNotFound,
+	} {
+		resp, err := http.Get(url + "/v1/cache/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET /v1/cache/%s: status %d, want %d", key, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestClusterCacheFederation proves the full federation loop: a sweep runs
+// through the cluster, the coordinator's cache fills from merged results,
+// and a brand-new worker with a FederatedCache pointed at the coordinator
+// serves the same specs from upstream without simulating anything.
+func TestClusterCacheFederation(t *testing.T) {
+	specs := experiments.Table1Specs(experiments.DefaultProtocol())
+	jobs, err := experiments.ResolveSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordURL, _ := startCoordinator(t, []string{startWorker(t)}, sweep.NewMemoryCache())
+	want, err := serve.NewClient(coordURL).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator peek endpoint now serves every cell's bytes.
+	for i, s := range specs[:3] {
+		resp, err := http.Get(coordURL + "/v1/cache/" + s.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("peek cell %d: status %d", i, resp.StatusCode)
+		}
+		if !bytes.Equal(b, want[i]) {
+			t.Errorf("peek cell %d: bytes differ from streamed result", i)
+		}
+	}
+
+	// A fresh worker federates: every cell is an upstream hit, none are
+	// simulated locally beyond the read-through copy.
+	fc := serve.NewFederatedCache(sweep.NewMemoryCache(), coordURL, time.Second)
+	srv, err := serve.New(serve.Config{
+		Resolver: experiments.ResolveSpec,
+		Workers:  2,
+		Cache:    fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+	}()
+
+	got, err := serve.NewClient(ts.URL).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("federated worker: cell %d differs", i)
+		}
+	}
+	hits, _, errors := fc.FederationStats()
+	if hits != int64(len(specs)) {
+		t.Errorf("federation hits = %d, want %d (every cell upstream)", hits, len(specs))
+	}
+	if errors != 0 {
+		t.Errorf("federation errors = %d, want 0", errors)
+	}
+}

@@ -1,0 +1,588 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whatsnext/internal/sweep"
+)
+
+// Runner is what the coordinator dispatches shards through: serve.Client
+// implements it over HTTP (the production path), sweep.Engine implements it
+// in-process (tests), and test fakes implement it to simulate node death.
+type Runner interface {
+	RunContext(ctx context.Context, jobs []sweep.Job) ([]json.RawMessage, error)
+}
+
+// Worker names one cluster member and the runner that reaches it.
+type Worker struct {
+	// Name is the node's ring identity and metrics label — for HTTP workers
+	// the base URL, so every coordinator replica computes the same ring.
+	Name string
+	// Runner executes shards on the node.
+	Runner Runner
+}
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Workers is the cluster membership. Required, at least one.
+	Workers []Worker
+	// Resolver, when non-nil, validates each submitted spec up front so a
+	// bad spec fails with 400 at the coordinator instead of failing a shard
+	// later. The resolved closure is discarded — only specs travel.
+	Resolver func(sweep.Spec) (sweep.Job, error)
+	// VirtualNodes is the ring points per worker; <= 0 selects 64.
+	VirtualNodes int
+	// ShardCells caps the cells per dispatched shard; <= 0 selects 4.
+	// Smaller shards steal and hedge at finer granularity, larger shards
+	// amortize per-dispatch overhead.
+	ShardCells int
+	// HedgeAfter is how long a shard may sit on one node before it is
+	// duplicated onto the next ring node; <= 0 selects 10s.
+	HedgeAfter time.Duration
+	// BackoffBase/BackoffMax shape the capped exponential backoff a
+	// failing node earns; <= 0 select 250ms and 15s.
+	BackoffBase, BackoffMax time.Duration
+	// Cache, when non-nil, is the coordinator's federated result cache:
+	// every merged cell result is stored under its spec key, resubmitted
+	// cells short-circuit without dispatching, and workers read through it
+	// via GET /v1/cache/{key}.
+	Cache sweep.Cache
+	// QueueDepth bounds accepted-but-unstarted jobs (429 beyond); <= 0
+	// selects 16.
+	QueueDepth int
+	// MaxCells bounds the specs in one submission (413 beyond); <= 0
+	// selects 4096.
+	MaxCells int
+	// MaxJobsRetained bounds finished-job history; <= 0 selects 256.
+	MaxJobsRetained int
+	// DefaultTimeout applies to jobs submitted without one; zero = none.
+	DefaultTimeout time.Duration
+	// RetryAfter is the 429 hint; <= 0 selects 1s.
+	RetryAfter time.Duration
+	// Logger receives structured logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Coordinator fronts a worker ring with the single-server job API. Create
+// with New, mount Handler, drain with Shutdown.
+type Coordinator struct {
+	cfg    Config
+	ring   *Ring
+	nodes  map[string]*node
+	order  []string // node names in ring-membership order
+	health healthPolicy
+	log    *slog.Logger
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+	queue    chan *job
+	seq      int64
+	draining bool
+
+	rejected             atomic.Int64
+	cellsTotal           atomic.Int64
+	coordCacheHits       atomic.Int64 // cells short-circuited by the coordinator cache
+	hedges               atomic.Int64 // hedge launches across all jobs
+	steals               atomic.Int64 // chunks taken from a peer's queue
+	dedup                dedupCounters
+	peekHits, peekMisses atomic.Int64
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// dedupCounters aggregates duplicate-result accounting across jobs.
+type dedupCounters struct {
+	dropped  atomic.Int64
+	mismatch atomic.Int64
+}
+
+// New builds a Coordinator and starts its dispatcher.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Workers is required")
+	}
+	names := make([]string, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		if w.Runner == nil {
+			return nil, fmt.Errorf("cluster: worker %q has no runner", w.Name)
+		}
+		names[i] = w.Name
+	}
+	ring, err := NewRing(cfg.VirtualNodes, names)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ShardCells <= 0 {
+		cfg.ShardCells = 4
+	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = 10 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 250 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 15 * time.Second
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 4096
+	}
+	if cfg.MaxJobsRetained <= 0 {
+		cfg.MaxJobsRetained = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    ring,
+		nodes:   make(map[string]*node, len(cfg.Workers)),
+		order:   names,
+		health:  healthPolicy{base: cfg.BackoffBase, max: cfg.BackoffMax},
+		log:     cfg.Logger,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	for _, w := range cfg.Workers {
+		c.nodes[w.Name] = &node{name: w.Name, runner: w.Runner}
+	}
+	go c.dispatch()
+	return c, nil
+}
+
+// Ring exposes the hash ring (read-only; for status and tests).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// dispatch runs accepted jobs in FIFO order, one at a time, until Shutdown
+// closes the queue. Inside one job the whole ring works in parallel; across
+// jobs the coordinator is a fair FIFO exactly like a single server.
+func (c *Coordinator) dispatch() {
+	defer close(c.done)
+	for j := range c.queue {
+		c.runJob(j)
+	}
+}
+
+// runJob executes one job across the ring: cache short-circuit, shard,
+// dispatch with stealing and hedging, merge.
+func (c *Coordinator) runJob(j *job) {
+	ctx := c.baseCtx
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
+	j.start()
+	c.log.Info("job start", "job", j.id, "cells", len(j.specs))
+	start := time.Now()
+
+	// Coordinator-cache short circuit: any cell the cluster has already
+	// computed (under any topology) is served without dispatching.
+	var pending []int
+	for i, spec := range j.specs {
+		if c.cfg.Cache != nil {
+			if b, ok := c.cfg.Cache.Get(spec.Hash()); ok {
+				j.commitCell(i, b, true, 0)
+				c.coordCacheHits.Add(1)
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	if len(pending) > 0 {
+		// Shard the remaining cells by ring owner, then split into
+		// steal/hedge-granularity chunks. Partition indices are positions in
+		// the pending list; rewrite them to submission indices so commits
+		// land in the right slot.
+		pendingJobs := make([]sweep.Job, len(pending))
+		for k, idx := range pending {
+			pendingJobs[k] = sweep.Job{Spec: j.specs[idx]}
+		}
+		shards := sweep.Partition(pendingJobs, func(s sweep.Spec) string {
+			return c.ring.Owner(s.Hash())
+		})
+		queues := newChunkQueues()
+		for _, sh := range shards {
+			for _, chunk := range sh.Split(c.cfg.ShardCells) {
+				for k := range chunk.Indices {
+					chunk.Indices[k] = pending[chunk.Indices[k]]
+				}
+				queues.push(chunk)
+			}
+		}
+
+		var wg sync.WaitGroup
+		for _, name := range c.order {
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				c.nodeLoop(ctx, j, n, queues)
+			}(c.nodes[name])
+		}
+		wg.Wait()
+	}
+
+	var runErr error
+	if err := ctx.Err(); err != nil {
+		runErr = err
+	}
+	j.finish(runErr)
+	c.dedup.dropped.Add(j.dedupSnapshot())
+
+	st := j.status()
+	c.log.Info("job finish", "job", j.id, "state", st.State, "cells", st.Cells,
+		"cache_hits", st.CacheHits, "wall", time.Since(start).Round(time.Millisecond))
+}
+
+// dedupSnapshot drains the job's dedup count into the aggregate (late
+// duplicate commits after this point still land in the job and are summed
+// by the metrics handler's retained-job walk).
+func (j *job) dedupSnapshot() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := j.dedupDropped
+	j.dedupDropped = 0
+	return d
+}
+
+// nodeLoop is one node's dispatch slot: drain the node's own chunk queue,
+// then steal from the most backed-up peer. A down node's slot still runs —
+// runChunk routes its chunks to healthy successors.
+func (c *Coordinator) nodeLoop(ctx context.Context, j *job, self *node, queues *chunkQueues) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		chunk, stolen, ok := queues.pop(self.name)
+		if !ok {
+			return
+		}
+		if stolen {
+			self.stolen.Add(1)
+			c.steals.Add(1)
+			// A stolen chunk runs on the thief first: it is idle, the owner
+			// is backed up. Re-owner the chunk so the candidate order
+			// starts here.
+			chunk.Owner = self.name
+		}
+		if err := c.runChunk(ctx, j, chunk); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			j.shardFailed(err)
+		}
+	}
+}
+
+// runChunk dispatches one chunk with failover and hedging: the owner (or
+// thief) first, then each distinct ring successor — immediately on failure,
+// after HedgeAfter on silence. The first complete result commits; stragglers
+// are cancelled and their late results deduped. An error is returned only
+// when every node failed the chunk.
+func (c *Coordinator) runChunk(ctx context.Context, j *job, chunk sweep.Shard) error {
+	cands := c.candidates(chunk)
+	attemptCtx, cancelAttempts := context.WithCancel(ctx)
+	defer cancelAttempts()
+
+	type attempt struct {
+		n   *node
+		err error
+	}
+	resCh := make(chan attempt, len(cands))
+	launched := 0
+	launch := func(hedge bool) {
+		n := cands[launched]
+		launched++
+		n.dispatched.Add(1)
+		if hedge {
+			n.hedgedTo.Add(1)
+			c.hedges.Add(1)
+		}
+		go func() {
+			start := time.Now()
+			raws, err := n.runner.RunContext(attemptCtx, chunk.Jobs)
+			if err == nil && len(raws) != len(chunk.Jobs) {
+				err = fmt.Errorf("cluster: node %s returned %d results for %d cells",
+					n.name, len(raws), len(chunk.Jobs))
+			}
+			if err == nil {
+				// Commit rule: the whole chunk arrived, so its cells become
+				// visible now — and feed the federation cache so peers and
+				// future jobs can read through.
+				wall := time.Since(start)
+				n.completed.Add(1)
+				n.ok()
+				for k, idx := range chunk.Indices {
+					if fresh := j.commitCell(idx, raws[k], false, wall); fresh && c.cfg.Cache != nil {
+						c.cfg.Cache.Put(chunk.Jobs[k].Spec.Hash(), raws[k])
+					}
+				}
+			} else {
+				n.failed.Add(1)
+				if attemptCtx.Err() == nil {
+					// A genuine node failure, not our own cancellation.
+					n.fail(c.health)
+				}
+			}
+			resCh <- attempt{n, err}
+		}()
+	}
+
+	launch(false)
+	hedge := time.NewTimer(c.cfg.HedgeAfter)
+	defer hedge.Stop()
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case a := <-resCh:
+			inflight--
+			if a.err == nil {
+				return nil
+			}
+			lastErr = a.err
+			if launched < len(cands) {
+				launch(false)
+				inflight++
+				hedge.Reset(c.cfg.HedgeAfter)
+			} else if inflight == 0 {
+				return fmt.Errorf("cluster: chunk of %d cells failed on all %d nodes: %w",
+					len(chunk.Jobs), len(cands), lastErr)
+			}
+		case <-hedge.C:
+			if launched < len(cands) {
+				launch(true)
+				inflight++
+			}
+			hedge.Reset(c.cfg.HedgeAfter)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// candidates orders the nodes a chunk may run on: the ring successor
+// sequence of the chunk's owner, healthy nodes first. The list always
+// contains every node — when the whole ring is backing off there is nothing
+// better to do than probe.
+func (c *Coordinator) candidates(chunk sweep.Shard) []*node {
+	var key string
+	if len(chunk.Jobs) > 0 {
+		key = chunk.Jobs[0].Spec.Hash()
+	}
+	order := c.ring.Successors(key)
+	// Start from the recorded owner if it differs (stolen chunks).
+	for i, name := range order {
+		if name == chunk.Owner {
+			order = append(append([]string(nil), order[i:]...), order[:i]...)
+			break
+		}
+	}
+	cands := make([]*node, 0, len(order))
+	for _, name := range order {
+		if c.nodes[name].available() {
+			cands = append(cands, c.nodes[name])
+		}
+	}
+	for _, name := range order {
+		if !c.nodes[name].available() {
+			cands = append(cands, c.nodes[name])
+		}
+	}
+	return cands
+}
+
+// chunkQueues is the per-node work-stealing deque set for one job: owners
+// pop their own queue from the front; an idle node steals from the back of
+// the longest peer queue.
+type chunkQueues struct {
+	mu sync.Mutex
+	q  map[string][]sweep.Shard
+}
+
+func newChunkQueues() *chunkQueues {
+	return &chunkQueues{q: make(map[string][]sweep.Shard)}
+}
+
+func (cq *chunkQueues) push(ch sweep.Shard) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.q[ch.Owner] = append(cq.q[ch.Owner], ch)
+}
+
+// pop returns the next chunk for node self: its own queue first (front),
+// otherwise stolen from the back of the longest peer queue (ties broken by
+// name for determinism of the choice, not of the result — results are
+// order-independent by construction). ok=false means no work remains.
+func (cq *chunkQueues) pop(self string) (ch sweep.Shard, stolen, ok bool) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if own := cq.q[self]; len(own) > 0 {
+		ch = own[0]
+		cq.q[self] = own[1:]
+		return ch, false, true
+	}
+	var victim string
+	longest := 0
+	names := make([]string, 0, len(cq.q))
+	for name := range cq.q {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if l := len(cq.q[name]); l > longest {
+			longest = l
+			victim = name
+		}
+	}
+	if longest == 0 {
+		return sweep.Shard{}, false, false
+	}
+	q := cq.q[victim]
+	ch = q[len(q)-1]
+	cq.q[victim] = q[:len(q)-1]
+	return ch, true, true
+}
+
+// submit validates, shards-checks and enqueues a request (mirrors the
+// single server's admission: 400 bad specs, 413 oversize, 429 shed).
+func (c *Coordinator) submit(req submitRequest) (*job, *apiError) {
+	if len(req.Specs) == 0 {
+		return nil, &apiError{http.StatusBadRequest, "no specs in submission"}
+	}
+	if len(req.Specs) > c.cfg.MaxCells {
+		return nil, &apiError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d specs exceeds the %d-cell limit", len(req.Specs), c.cfg.MaxCells)}
+	}
+	timeout := c.cfg.DefaultTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d < 0 {
+			return nil, &apiError{http.StatusBadRequest, fmt.Sprintf("bad timeout %q", req.Timeout)}
+		}
+		timeout = d
+	}
+	if c.cfg.Resolver != nil {
+		for i, spec := range req.Specs {
+			if _, err := c.cfg.Resolver(spec); err != nil {
+				return nil, &apiError{http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err)}
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		c.rejected.Add(1)
+		return nil, &apiError{http.StatusTooManyRequests, "coordinator is draining"}
+	}
+	c.seq++
+	j := newJob(fmt.Sprintf("c-%06d", c.seq), req.Specs, timeout)
+	select {
+	case c.queue <- j:
+	default:
+		c.rejected.Add(1)
+		return nil, &apiError{http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d queued)", cap(c.queue))}
+	}
+	c.cellsTotal.Add(int64(len(req.Specs)))
+	c.jobs[j.id] = j
+	c.jobOrder = append(c.jobOrder, j.id)
+	c.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+func (c *Coordinator) evictLocked() {
+	excess := len(c.jobOrder) - c.cfg.MaxJobsRetained
+	if excess <= 0 {
+		return
+	}
+	kept := c.jobOrder[:0]
+	for _, id := range c.jobOrder {
+		if excess > 0 && c.jobs[id].terminal() {
+			delete(c.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	c.jobOrder = kept
+}
+
+func (c *Coordinator) lookup(id string) (*job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+func (c *Coordinator) list() []jobStatus {
+	c.mu.Lock()
+	ids := append([]string(nil), c.jobOrder...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, c.jobs[id])
+	}
+	c.mu.Unlock()
+	out := make([]jobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Draining reports whether Shutdown has begun.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Shutdown stops accepting jobs and waits for accepted jobs to finish;
+// cancelling ctx aborts the in-flight job between shard completions and
+// returns ctx.Err(). Safe to call once.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.draining = true
+	close(c.queue)
+	c.mu.Unlock()
+	c.log.Info("draining", "queued", len(c.queue))
+
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		c.cancel()
+		<-c.done
+		return ctx.Err()
+	}
+}

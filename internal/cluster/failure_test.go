@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// These tests drive the failure machinery — node death mid-job, hedged
+// re-dispatch, duplicate dedup, health backoff — with in-process fake
+// workers whose behavior is exact, so the assertions are deterministic
+// where an HTTP integration test would be timing-soup. The determinism
+// oracle is always the same: whatever breaks, the committed bytes must
+// equal a clean local run.
+
+// fakeResult is the pure function of the spec every fake worker computes —
+// the stand-in for a deterministic simulation cell.
+func fakeResult(s sweep.Spec) json.RawMessage {
+	b, err := json.Marshal(map[string]any{"kernel": s.Kernel, "trace": s.TraceSeed, "hash": s.Hash()[:12]})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// fakeWorker is a Runner with fault switches.
+type fakeWorker struct {
+	name string
+	// failFirst fails this many leading calls with a mid-stream error
+	// (simulating a worker that died while streaming a shard).
+	failFirst int32
+	// delay stalls every answer; if ignoreCancel is set the stall and the
+	// answer complete even after the coordinator cancels the attempt —
+	// exactly the hedging race where two nodes answer the same spec keys.
+	delay        time.Duration
+	ignoreCancel bool
+
+	calls atomic.Int32
+}
+
+func (f *fakeWorker) RunContext(ctx context.Context, jobs []sweep.Job) ([]json.RawMessage, error) {
+	f.calls.Add(1)
+	if f.calls.Load() <= f.failFirst {
+		return nil, errors.New("connection reset mid-stream")
+	}
+	if f.delay > 0 {
+		if f.ignoreCancel {
+			time.Sleep(f.delay)
+		} else {
+			select {
+			case <-time.After(f.delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	if !f.ignoreCancel && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	out := make([]json.RawMessage, len(jobs))
+	for i, j := range jobs {
+		out[i] = fakeResult(j.Spec)
+	}
+	return out, nil
+}
+
+func failSpecs(n int) []sweep.Spec {
+	specs := make([]sweep.Spec, n)
+	for i := range specs {
+		specs[i] = sweep.Spec{Experiment: "failure", Kernel: fmt.Sprintf("k%02d", i), TraceSeed: int64(i)}
+	}
+	return specs
+}
+
+// localReference computes the byte-identity oracle: what any single node
+// produces for the same specs, in submission order.
+func localReference(t *testing.T, specs []sweep.Spec) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, len(specs))
+	for i, s := range specs {
+		out[i] = fakeResult(s)
+	}
+	return out
+}
+
+// runClusterJob submits specs straight to the coordinator's internal queue
+// and waits for the terminal state.
+func runClusterJob(t *testing.T, c *Coordinator, specs []sweep.Spec) *job {
+	t.Helper()
+	j, apiErr := c.submit(submitRequest{Specs: specs})
+	if apiErr != nil {
+		t.Fatalf("submit: %d %s", apiErr.code, apiErr.msg)
+	}
+	deadline := time.After(30 * time.Second)
+	for !j.terminal() {
+		select {
+		case <-deadline:
+			t.Fatalf("job %s did not finish", j.id)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return j
+}
+
+func assertBytesEqual(t *testing.T, j *job, want []json.RawMessage) {
+	t.Helper()
+	st := j.status()
+	if st.State != serve.StateDone {
+		t.Fatalf("job state %s (err %q), want done", st.State, st.Error)
+	}
+	if len(st.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(st.Results), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(st.Results[i], want[i]) {
+			t.Errorf("cell %d: %s != %s", i, st.Results[i], want[i])
+		}
+	}
+}
+
+// TestWorkerDeathMidJobHedgedRecovery kills one of three workers for the
+// whole job (every dispatch to it dies mid-stream); failover + hedging must
+// recover every shard with byte-identical output, and the dead node must be
+// marked down.
+func TestWorkerDeathMidJobHedgedRecovery(t *testing.T) {
+	// The healthy workers take a little wall time per chunk, as any real
+	// HTTP worker does. On a single-CPU box instant workers would drain and
+	// steal the whole queue before the dead node's dispatch loop is even
+	// scheduled, and the fault path under test would never run.
+	dead := &fakeWorker{name: "w-dead", failFirst: 1 << 30}
+	alive1 := &fakeWorker{name: "w-alive1", delay: 2 * time.Millisecond}
+	alive2 := &fakeWorker{name: "w-alive2", delay: 2 * time.Millisecond}
+	c, err := New(Config{
+		Workers: []Worker{
+			{Name: dead.name, Runner: dead},
+			{Name: alive1.name, Runner: alive1},
+			{Name: alive2.name, Runner: alive2},
+		},
+		ShardCells:  2,
+		HedgeAfter:  20 * time.Millisecond,
+		BackoffBase: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	specs := failSpecs(12)
+	j := runClusterJob(t, c, specs)
+	assertBytesEqual(t, j, localReference(t, specs))
+
+	if dead.calls.Load() == 0 {
+		t.Error("dead worker was never dispatched to — ring routed around it a priori?")
+	}
+	st := c.Status()
+	var deadStatus *NodeStatus
+	for i := range st.Nodes {
+		if st.Nodes[i].Name == dead.name {
+			deadStatus = &st.Nodes[i]
+		}
+	}
+	if deadStatus == nil {
+		t.Fatal("dead node missing from status")
+	}
+	if deadStatus.Up {
+		t.Error("dead node still reported up after failing every dispatch")
+	}
+	if deadStatus.Failed == 0 || deadStatus.Transitions == 0 {
+		t.Errorf("dead node counters: failed=%d transitions=%d, want both > 0",
+			deadStatus.Failed, deadStatus.Transitions)
+	}
+}
+
+// TestWorkerDiesPartwayThroughJob flips a worker from healthy to dead
+// between chunks: early chunks succeed on it, later ones die mid-stream and
+// must be re-dispatched elsewhere without byte divergence — the exact
+// "kill a worker mid-job" scenario.
+func TestWorkerDiesPartwayThroughJob(t *testing.T) {
+	// Dies after its first successful call: calls 2.. fail.
+	flaky := &fakeWorker{name: "w-flaky"}
+	other := &fakeWorker{name: "w-other"}
+	wrapped := runnerFunc(func(ctx context.Context, jobs []sweep.Job) ([]json.RawMessage, error) {
+		if flaky.calls.Add(1) > 1 {
+			return nil, errors.New("worker killed mid-job")
+		}
+		out := make([]json.RawMessage, len(jobs))
+		for i, j := range jobs {
+			out[i] = fakeResult(j.Spec)
+		}
+		return out, nil
+	})
+	c, err := New(Config{
+		Workers: []Worker{
+			{Name: flaky.name, Runner: wrapped},
+			{Name: other.name, Runner: other},
+		},
+		ShardCells:  1, // many small chunks so the flip lands mid-job
+		HedgeAfter:  20 * time.Millisecond,
+		BackoffBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	specs := failSpecs(16)
+	j := runClusterJob(t, c, specs)
+	assertBytesEqual(t, j, localReference(t, specs))
+}
+
+// runnerFunc adapts a function to Runner.
+type runnerFunc func(context.Context, []sweep.Job) ([]json.RawMessage, error)
+
+func (f runnerFunc) RunContext(ctx context.Context, jobs []sweep.Job) ([]json.RawMessage, error) {
+	return f(ctx, jobs)
+}
+
+// TestHedgedDuplicateDedup makes the primary slow but unkillable, so the
+// hedge completes first AND the primary completes later: two nodes answer
+// the same spec keys. Exactly one result per cell may survive, the
+// duplicates must be counted, and none may disagree byte-wise.
+func TestHedgedDuplicateDedup(t *testing.T) {
+	// fast is quick but not instant — see TestWorkerDeathMidJobHedgedRecovery
+	// for why instant workers starve the path under test on one CPU.
+	slow := &fakeWorker{name: "w-slow", delay: 150 * time.Millisecond, ignoreCancel: true}
+	fast := &fakeWorker{name: "w-fast", delay: time.Millisecond}
+	c, err := New(Config{
+		Workers: []Worker{
+			{Name: slow.name, Runner: slow},
+			{Name: fast.name, Runner: fast},
+		},
+		ShardCells: 2,
+		HedgeAfter: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	specs := failSpecs(10)
+	// Count how many chunks the ring assigns to the slow node: those are
+	// the ones that will be hedged and answered twice.
+	slowCells := 0
+	for _, s := range specs {
+		if c.Ring().Owner(s.Hash()) == slow.name {
+			slowCells++
+		}
+	}
+	if slowCells == 0 {
+		t.Skip("ring assigned nothing to the slow node for this spec set")
+	}
+
+	j := runClusterJob(t, c, specs)
+	// Wait out the slow node's stragglers so their duplicate commits land.
+	time.Sleep(250 * time.Millisecond)
+	assertBytesEqual(t, j, localReference(t, specs))
+
+	if c.hedges.Load() == 0 {
+		t.Error("no hedges launched despite a slow primary")
+	}
+	j.mu.Lock()
+	dropped := j.dedupDropped
+	mismatch := j.dedupMismatch
+	j.mu.Unlock()
+	total := c.dedup.dropped.Load() + dropped
+	if total == 0 {
+		t.Error("no duplicates were deduped — did the slow node never finish?")
+	}
+	if total > int64(slowCells) {
+		t.Errorf("deduped %d duplicates, but only %d cells were owned by the slow node", total, slowCells)
+	}
+	if mismatch != 0 || c.dedup.mismatch.Load() != 0 {
+		t.Errorf("duplicate results disagreed byte-wise (mismatch=%d) — determinism violation", mismatch)
+	}
+}
+
+// TestAllWorkersDeadFailsCleanly: when every node fails a chunk, the job
+// must end failed (not hang), with the shard error surfaced.
+func TestAllWorkersDeadFailsCleanly(t *testing.T) {
+	d1 := &fakeWorker{name: "d1", failFirst: 1 << 30}
+	d2 := &fakeWorker{name: "d2", failFirst: 1 << 30}
+	c, err := New(Config{
+		Workers:     []Worker{{Name: "d1", Runner: d1}, {Name: "d2", Runner: d2}},
+		ShardCells:  4,
+		HedgeAfter:  10 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	j := runClusterJob(t, c, failSpecs(4))
+	st := j.status()
+	if st.State != serve.StateFailed {
+		t.Fatalf("job state %s, want failed", st.State)
+	}
+	if st.Error == "" {
+		t.Error("failed job carries no error message")
+	}
+}
+
+// TestCoordinatorCacheShortCircuit: a resubmitted job is served entirely
+// from the coordinator's federated cache — no new dispatches reach any
+// worker — and the bytes are unchanged.
+func TestCoordinatorCacheShortCircuit(t *testing.T) {
+	w1 := &fakeWorker{name: "w1"}
+	w2 := &fakeWorker{name: "w2"}
+	c, err := New(Config{
+		Workers: []Worker{{Name: "w1", Runner: w1}, {Name: "w2", Runner: w2}},
+		Cache:   sweep.NewMemoryCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	specs := failSpecs(8)
+	want := localReference(t, specs)
+	j1 := runClusterJob(t, c, specs)
+	assertBytesEqual(t, j1, want)
+	callsAfterFirst := w1.calls.Load() + w2.calls.Load()
+
+	j2 := runClusterJob(t, c, specs)
+	assertBytesEqual(t, j2, want)
+	if got := w1.calls.Load() + w2.calls.Load(); got != callsAfterFirst {
+		t.Errorf("resubmission dispatched to workers (%d calls, want %d)", got, callsAfterFirst)
+	}
+	if st := j2.status(); st.CacheHits != int64(len(specs)) {
+		t.Errorf("resubmission cache hits = %d, want %d", st.CacheHits, len(specs))
+	}
+	if c.coordCacheHits.Load() != int64(len(specs)) {
+		t.Errorf("coordinator cache hit counter = %d, want %d", c.coordCacheHits.Load(), len(specs))
+	}
+}
+
+// TestBackoffRecovery: a node that failed comes back after its backoff
+// expires and serves again.
+func TestBackoffRecovery(t *testing.T) {
+	flaky := &fakeWorker{name: "flaky", failFirst: 1}
+	c, err := New(Config{
+		Workers:     []Worker{{Name: "flaky", Runner: flaky}},
+		ShardCells:  2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		HedgeAfter:  time.Hour, // no hedging: failover only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(context.Background())
+
+	specs := failSpecs(4)
+	j := runClusterJob(t, c, specs)
+	// Single node: first chunk dispatch fails once, chunk fails (no other
+	// node), job fails — but the node must recover for the next job.
+	if st := j.status(); st.State == serve.StateDone {
+		// Also acceptable: the failed chunk errored, job failed. If the
+		// retry-free single-node path somehow succeeded, bytes must match.
+		assertBytesEqual(t, j, localReference(t, specs))
+	}
+	time.Sleep(5 * time.Millisecond)
+	j2 := runClusterJob(t, c, specs)
+	assertBytesEqual(t, j2, localReference(t, specs))
+	if !c.nodes["flaky"].available() {
+		t.Error("node still down after successful dispatches")
+	}
+}

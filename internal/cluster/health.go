@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// node is the coordinator's view of one worker: its runner, health state,
+// and dispatch counters. Counters are atomics because attempt goroutines
+// update them while the metrics handler reads.
+type node struct {
+	name   string
+	runner Runner
+
+	mu           sync.Mutex
+	failures     int       // consecutive dispatch failures
+	backoffUntil time.Time // zero when healthy
+	down         bool      // true while in backoff
+
+	dispatched  atomic.Int64 // shards sent to this node (incl. hedges)
+	completed   atomic.Int64 // shards this node finished successfully
+	failed      atomic.Int64 // shards this node errored
+	hedgedTo    atomic.Int64 // shards dispatched here as hedges of a slow peer
+	stolen      atomic.Int64 // shards this node stole from a peer's queue
+	transitions atomic.Int64 // up<->down edges
+}
+
+// healthPolicy shapes the capped exponential backoff a failing node earns.
+type healthPolicy struct {
+	base time.Duration // first backoff; doubles per consecutive failure
+	max  time.Duration // backoff cap
+}
+
+// ok records a successful dispatch: failures reset and the node is up.
+func (n *node) ok() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failures = 0
+	n.backoffUntil = time.Time{}
+	if n.down {
+		n.down = false
+		n.transitions.Add(1)
+	}
+}
+
+// fail records a dispatch failure and arms the next backoff window.
+func (n *node) fail(p healthPolicy) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failures++
+	d := p.base << uint(n.failures-1)
+	if d > p.max || d <= 0 {
+		d = p.max
+	}
+	n.backoffUntil = time.Now().Add(d)
+	if !n.down {
+		n.down = true
+		n.transitions.Add(1)
+	}
+}
+
+// available reports whether the node should receive new dispatches now. A
+// node whose backoff has expired is probed again (and marked up on
+// success).
+func (n *node) available() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.down || time.Now().After(n.backoffUntil)
+}
+
+// snapshot captures the health state for /v1/cluster.
+func (n *node) snapshot() NodeStatus {
+	n.mu.Lock()
+	down := n.down
+	failures := n.failures
+	backoff := n.backoffUntil
+	n.mu.Unlock()
+	st := NodeStatus{
+		Name:        n.name,
+		Up:          !down,
+		Failures:    failures,
+		Dispatched:  n.dispatched.Load(),
+		Completed:   n.completed.Load(),
+		Failed:      n.failed.Load(),
+		Hedged:      n.hedgedTo.Load(),
+		Stolen:      n.stolen.Load(),
+		Transitions: n.transitions.Load(),
+	}
+	if down && !backoff.IsZero() {
+		st.BackoffUntil = &backoff
+	}
+	return st
+}
+
+// NodeStatus is one node's entry in the GET /v1/cluster report.
+type NodeStatus struct {
+	Name         string     `json:"name"`
+	Up           bool       `json:"up"`
+	Failures     int        `json:"consecutive_failures,omitempty"`
+	BackoffUntil *time.Time `json:"backoff_until,omitempty"`
+	Dispatched   int64      `json:"shards_dispatched"`
+	Completed    int64      `json:"shards_completed"`
+	Failed       int64      `json:"shards_failed"`
+	Hedged       int64      `json:"shards_hedged"`
+	Stolen       int64      `json:"shards_stolen"`
+	Transitions  int64      `json:"transitions"`
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// job is one accepted submission flowing through the cluster. It keeps the
+// same append-only NDJSON event log a single server keeps (the wire format
+// is serve.Event, so serve.Client follows a coordinator stream unchanged)
+// plus the dedup ledger: results commit per cell index, first complete
+// shard wins, duplicates are counted and dropped.
+type job struct {
+	id      string
+	specs   []sweep.Spec
+	timeout time.Duration
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	results   []json.RawMessage
+	committed int   // cells with a result so far
+	cacheHits int64 // cells served by the coordinator's own cache
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	events    []json.RawMessage
+	changed   chan struct{} // closed and replaced on every append
+
+	dedupDropped   int64 // duplicate cell results discarded (hedging)
+	dedupMismatch  int64 // duplicates whose bytes disagreed (determinism!)
+	firstShardErr  error
+	shardErrsTotal int
+}
+
+func newJob(id string, specs []sweep.Spec, timeout time.Duration) *job {
+	return &job{
+		id:        id,
+		specs:     specs,
+		timeout:   timeout,
+		state:     serve.StateQueued,
+		results:   make([]json.RawMessage, len(specs)),
+		submitted: time.Now(),
+		changed:   make(chan struct{}),
+	}
+}
+
+// appendLocked adds an event line and wakes stream subscribers. Caller
+// holds j.mu.
+func (j *job) appendLocked(e serve.Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return // events are built from marshalable fields; unreachable
+	}
+	j.events = append(j.events, b)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+func (j *job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = serve.StateRunning
+	j.started = time.Now()
+}
+
+// commitCell records one cell's bytes if the cell is still open, emitting a
+// progress event; a duplicate (hedged shard losing the race) is counted
+// and dropped, and a byte-disagreeing duplicate — which the determinism
+// contract says cannot happen — is additionally counted as a mismatch so
+// it shows up in metrics rather than vanishing. Returns true when the cell
+// was fresh.
+func (j *job) commitCell(idx int, raw json.RawMessage, cacheHit bool, wall time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.results[idx] != nil {
+		j.dedupDropped++
+		if !bytes.Equal(j.results[idx], raw) {
+			j.dedupMismatch++
+		}
+		return false
+	}
+	j.results[idx] = raw
+	j.committed++
+	if cacheHit {
+		j.cacheHits++
+	}
+	if j.terminalLocked() {
+		return true // late commit after cancellation: keep silent
+	}
+	e := serve.Event{
+		Type:     "progress",
+		Index:    idx,
+		Spec:     &j.specs[idx],
+		CacheHit: cacheHit,
+		WallNS:   int64(wall),
+		Done:     j.committed,
+		Total:    len(j.specs),
+	}
+	j.appendLocked(e)
+	return true
+}
+
+// shardFailed records a shard that exhausted every node.
+func (j *job) shardFailed(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.shardErrsTotal++
+	if j.firstShardErr == nil {
+		j.firstShardErr = err
+	}
+}
+
+// finish closes the job: result events in submission order when every cell
+// committed, otherwise the failure/cancellation terminal state.
+func (j *job) finish(runErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminalLocked() {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case runErr == nil && j.firstShardErr == nil && j.committed == len(j.specs):
+		j.state = serve.StateDone
+		for i, r := range j.results {
+			j.appendLocked(serve.Event{Type: "result", Index: i, Spec: &j.specs[i], Result: r})
+		}
+	case runErr != nil:
+		j.state = serve.StateCanceled
+		j.errMsg = runErr.Error()
+	default:
+		j.state = serve.StateFailed
+		if j.firstShardErr != nil {
+			j.errMsg = j.firstShardErr.Error()
+		} else {
+			j.errMsg = "cluster: incomplete results"
+		}
+	}
+	j.appendLocked(serve.Event{Type: "done", State: j.state, Error: j.errMsg, CacheHits: j.cacheHits})
+}
+
+func (j *job) terminalLocked() bool {
+	return j.state == serve.StateDone || j.state == serve.StateFailed || j.state == serve.StateCanceled
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.terminalLocked()
+}
+
+// status snapshots the job for the JSON API (same shape as a single
+// server's job status).
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cells:     len(j.specs),
+		Done:      j.committed,
+		CacheHits: j.cacheHits,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+	}
+	if j.state == serve.StateDone {
+		st.Results = j.results
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// wait returns the event lines from cursor on, blocking until new events
+// arrive, the job is terminal, or ctx ends (mirrors serve's stream
+// contract, including ?cursor resume).
+func (j *job) wait(ctx context.Context, cursor int) ([]json.RawMessage, bool, error) {
+	for {
+		j.mu.Lock()
+		terminal := j.terminalLocked()
+		if cursor < len(j.events) {
+			batch := j.events[cursor:len(j.events):len(j.events)]
+			done := terminal && cursor+len(batch) == len(j.events)
+			j.mu.Unlock()
+			return batch, done, nil
+		}
+		if terminal {
+			j.mu.Unlock()
+			return nil, true, nil
+		}
+		ch := j.changed
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// jobStatus is the GET /v1/jobs/{id} body.
+type jobStatus struct {
+	ID        string            `json:"id"`
+	State     string            `json:"state"`
+	Cells     int               `json:"cells"`
+	Done      int               `json:"done"`
+	CacheHits int64             `json:"cache_hits"`
+	Error     string            `json:"error,omitempty"`
+	Submitted time.Time         `json:"submitted"`
+	Started   *time.Time        `json:"started,omitempty"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	Results   []json.RawMessage `json:"results,omitempty"`
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+
+	"whatsnext/internal/serve"
+)
+
+// handleMetrics renders the coordinator counters in Prometheus text
+// exposition format. Per-node series carry a node="..." label so a scrape
+// shows exactly which worker is absorbing shards, which is being hedged
+// around, and which is down.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	queued := len(c.queue)
+	queueCap := cap(c.queue)
+	jobsRetained := len(c.jobs)
+	submitted := c.seq
+	draining := 0
+	if c.draining {
+		draining = 1
+	}
+	c.mu.Unlock()
+
+	var jobsDone, jobsFailed, jobsCanceled int64
+	var lateDedup int64
+	for _, st := range c.list() {
+		switch st.State {
+		case serve.StateDone:
+			jobsDone++
+		case serve.StateFailed:
+			jobsFailed++
+		case serve.StateCanceled:
+			jobsCanceled++
+		}
+	}
+	// Duplicates that arrived after a job's dedup snapshot still sit on the
+	// retained job; fold them in so the counter never undercounts while a
+	// job is retained.
+	c.mu.Lock()
+	for _, j := range c.jobs {
+		j.mu.Lock()
+		lateDedup += j.dedupDropped
+		j.mu.Unlock()
+	}
+	c.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("wn_cluster_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", submitted)
+	counter("wn_cluster_jobs_rejected_total", "Submissions shed with 429.", c.rejected.Load())
+	counter("wn_cluster_jobs_done_total", "Jobs finished successfully.", jobsDone)
+	counter("wn_cluster_jobs_failed_total", "Jobs ending in a shard error.", jobsFailed)
+	counter("wn_cluster_jobs_canceled_total", "Jobs cancelled by deadline or shutdown.", jobsCanceled)
+	counter("wn_cluster_cells_total", "Cells accepted across all jobs.", c.cellsTotal.Load())
+	counter("wn_cluster_cache_hits_total", "Cells short-circuited by the coordinator's federated cache.", c.coordCacheHits.Load())
+	counter("wn_cluster_cache_peek_hits_total", "Worker cache-peek requests answered from the federated cache.", c.peekHits.Load())
+	counter("wn_cluster_cache_peek_misses_total", "Worker cache-peek requests that found nothing.", c.peekMisses.Load())
+	counter("wn_cluster_hedges_total", "Hedged shard dispatches (slow primary, duplicate launched).", c.hedges.Load())
+	counter("wn_cluster_steals_total", "Shards stolen from a backed-up peer's queue.", c.steals.Load())
+	counter("wn_cluster_dedup_dropped_total", "Duplicate cell results discarded (first complete shard wins).",
+		c.dedup.dropped.Load()+lateDedup)
+	counter("wn_cluster_dedup_mismatch_total", "Duplicate results whose bytes disagreed — determinism violations.",
+		c.dedup.mismatch.Load())
+	gauge("wn_cluster_queue_depth", "Jobs accepted but not yet running.", int64(queued))
+	gauge("wn_cluster_queue_capacity", "Job queue bound.", int64(queueCap))
+	gauge("wn_cluster_jobs_retained", "Jobs held for status queries.", int64(jobsRetained))
+	gauge("wn_cluster_draining", "1 while shutdown is draining the queue.", int64(draining))
+	gauge("wn_cluster_nodes", "Cluster membership size.", int64(len(c.order)))
+
+	labeled := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	labeled("wn_cluster_shards_dispatched_total", "Shards dispatched per node (including hedges).", "counter")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "wn_cluster_shards_dispatched_total{node=%q} %d\n", name, c.nodes[name].dispatched.Load())
+	}
+	labeled("wn_cluster_shards_completed_total", "Shards completed per node.", "counter")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "wn_cluster_shards_completed_total{node=%q} %d\n", name, c.nodes[name].completed.Load())
+	}
+	labeled("wn_cluster_shards_failed_total", "Shards failed per node.", "counter")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "wn_cluster_shards_failed_total{node=%q} %d\n", name, c.nodes[name].failed.Load())
+	}
+	labeled("wn_cluster_shards_hedged_total", "Shards dispatched to a node as hedges of a slow peer.", "counter")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "wn_cluster_shards_hedged_total{node=%q} %d\n", name, c.nodes[name].hedgedTo.Load())
+	}
+	labeled("wn_cluster_shards_stolen_total", "Shards a node stole from a peer's queue.", "counter")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "wn_cluster_shards_stolen_total{node=%q} %d\n", name, c.nodes[name].stolen.Load())
+	}
+	labeled("wn_cluster_node_up", "1 while the node is accepting dispatches, 0 in backoff.", "gauge")
+	for _, name := range c.order {
+		up := 0
+		if c.nodes[name].available() {
+			up = 1
+		}
+		fmt.Fprintf(w, "wn_cluster_node_up{node=%q} %d\n", name, up)
+	}
+	labeled("wn_cluster_node_transitions_total", "Up/down health transitions per node.", "counter")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "wn_cluster_node_transitions_total{node=%q} %d\n", name, c.nodes[name].transitions.Load())
+	}
+}

@@ -1,0 +1,139 @@
+// Package cluster turns N wnserved-style workers into one logical sweep
+// engine. A coordinator accepts the same POST /v1/jobs API a single server
+// does, consistent-hashes each cell's SHA-256 spec key onto a worker ring,
+// fans the shards out over hardened serve.Clients, and re-interleaves the
+// per-cell results into submission order — so the reassembled output is
+// byte-identical to a single local sweep.Engine run of the same specs, at
+// any cluster size.
+//
+// The robustness substrate:
+//
+//   - Per-node health tracking with capped exponential backoff: a node
+//     that fails dispatches is routed around until its backoff expires.
+//   - Hedged re-dispatch: a shard that sits on a slow node past the hedge
+//     deadline is duplicated onto the next ring node; the first complete
+//     result wins and duplicates are deduped by spec key, so hedging can
+//     never change the output bytes.
+//   - Work stealing: an idle node drains queued shards from the most
+//     backed-up peer, so one straggler cannot serialize a job.
+//   - Federated caching: the coordinator caches every merged cell result
+//     under its spec key, serves GET /v1/cache/{key} to workers
+//     (read-through on their local miss), and short-circuits resubmitted
+//     cells without dispatching at all.
+//
+// The commit rule (cf. privatize-and-commit in task-based intermittent
+// runtimes): a shard's results are invisible until its remote job
+// completes — a worker that dies mid-shard contributes nothing, and the
+// shard reruns elsewhere from scratch.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle owned
+// by a physical node.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring with virtual nodes. Keys (spec
+// hashes) map to the first point clockwise; virtual nodes smooth the
+// per-node load to within a few percent of uniform. The ring is pure
+// computation — health is layered on top by the coordinator, which walks
+// Successors to route around down nodes.
+type Ring struct {
+	points []ringPoint
+	nodes  []string // distinct, in insertion order
+	vnodes int
+}
+
+// NewRing builds a ring with vnodes virtual points per node (<= 0 selects
+// 64). Node names must be non-empty and distinct.
+func NewRing(vnodes int, nodes []string) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{vnodes: vnodes}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node // deterministic tie-break
+	})
+	return r, nil
+}
+
+// pointHash positions virtual node v of a node on the circle.
+func pointHash(node string, v int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", node, v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a spec key on the circle. The key is already a SHA-256
+// hex digest; hashing it again decorrelates ring position from cache-key
+// prefix without costing determinism.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring membership in insertion order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VirtualNodes reports the per-node virtual point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Owner maps a spec key to the node owning it: the first ring point at or
+// clockwise of the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.ownerIndex(key)].node
+}
+
+func (r *Ring) ownerIndex(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return i
+}
+
+// Successors returns every distinct node in ring order starting with the
+// key's owner. This is the re-dispatch order for hedging and failover: the
+// owner first, then the next distinct node clockwise, and so on — the same
+// sequence every coordinator computes for the same key.
+func (r *Ring) Successors(key string) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	start := r.ownerIndex(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

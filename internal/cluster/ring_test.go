@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"testing"
+
+	"whatsnext/internal/sweep"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = sweep.Spec{Experiment: "ring", TraceSeed: int64(i)}.Hash()
+	}
+	return keys
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(8, nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing(8, []string{"a", ""}); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := NewRing(8, []string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+// TestRingDeterministic: two rings with the same membership agree on every
+// owner — the property that lets any coordinator replica (or a worker
+// checking its own ownership) compute the same assignment.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	r1, err := NewRing(64, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(64, []string{nodes[0], nodes[1], nodes[2]})
+	for _, k := range testKeys(256) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("rings disagree on key %s: %s vs %s", k[:8], r1.Owner(k), r2.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no node owns a wildly outsized or
+// starved share of keys.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r, err := NewRing(64, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.0f%% of keys (counts: %v)", n, share*100, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderGrowth: adding a node must not reshuffle keys
+// between the surviving nodes — only moves onto the newcomer are allowed.
+// This is what keeps worker-local caches warm across membership changes.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	small, _ := NewRing(64, []string{"n1", "n2", "n3"})
+	big, _ := NewRing(64, []string{"n1", "n2", "n3", "n4"})
+	moved, movedElsewhere := 0, 0
+	keys := testKeys(2000)
+	for _, k := range keys {
+		before, after := small.Owner(k), big.Owner(k)
+		if before != after {
+			moved++
+			if after != "n4" {
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere > 0 {
+		t.Errorf("%d keys moved between surviving nodes (consistent hashing violated)", movedElsewhere)
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new node")
+	}
+	if share := float64(moved) / float64(len(keys)); share > 0.5 {
+		t.Errorf("adding one node moved %.0f%% of keys; want roughly 1/4", share*100)
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r, _ := NewRing(32, nodes)
+	for _, k := range testKeys(64) {
+		succ := r.Successors(k)
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors returned %d nodes, want %d", len(succ), len(nodes))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Errorf("Successors[0] = %s, Owner = %s", succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("duplicate successor %s for key %s", n, k[:8])
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestChunkQueuesStealFromLongest(t *testing.T) {
+	cq := newChunkQueues()
+	mk := func(owner string, n int) sweep.Shard {
+		return sweep.Shard{Owner: owner, Indices: []int{n}, Jobs: []sweep.Job{{}}}
+	}
+	// busy has 3 chunks queued, other has 1, idle none.
+	for i := 0; i < 3; i++ {
+		cq.push(mk("busy", i))
+	}
+	cq.push(mk("other", 10))
+
+	if ch, stolen, ok := cq.pop("other"); !ok || stolen || ch.Indices[0] != 10 {
+		t.Fatalf("own pop wrong: %v %v %v", ch.Indices, stolen, ok)
+	}
+	// idle steals from busy's back (index 2).
+	ch, stolen, ok := cq.pop("idle")
+	if !ok || !stolen {
+		t.Fatalf("steal failed: stolen=%v ok=%v", stolen, ok)
+	}
+	if ch.Indices[0] != 2 {
+		t.Errorf("stole chunk %d, want back-of-queue 2", ch.Indices[0])
+	}
+	// busy drains its own front in order.
+	if ch, _, _ := cq.pop("busy"); ch.Indices[0] != 0 {
+		t.Errorf("owner pop got %d, want front 0", ch.Indices[0])
+	}
+	cq.pop("busy")
+	if _, _, ok := cq.pop("anyone"); ok {
+		t.Error("empty queues still produced work")
+	}
+}
+
+func TestRingOwnerMatchesSuccessorHead(t *testing.T) {
+	r, _ := NewRing(0, []string{"solo"})
+	for _, k := range testKeys(8) {
+		if r.Owner(k) != "solo" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"whatsnext/internal/sweep"
 )
 
 // Handler mounts the API with request logging.
@@ -15,6 +17,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -60,19 +63,29 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// handleStream replays the job's event log from the start and follows it
-// until the terminal event, as NDJSON. A late subscriber therefore sees the
-// same complete stream an early one did.
+// handleStream replays the job's event log and follows it until the
+// terminal event, as NDJSON. By default it replays from the start, so a
+// late subscriber sees the same complete stream an early one did; with
+// ?cursor=N it resumes from the Nth event line, which is how a client that
+// lost its connection picks up exactly where it stopped.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
 		return
 	}
+	cursor := 0
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad cursor %q", raw)})
+			return
+		}
+		cursor = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	cursor := 0
 	for {
 		batch, done, err := j.wait(r.Context(), cursor)
 		if err != nil {
@@ -91,6 +104,34 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleCachePeek serves the raw cached result bytes for a spec hash, or
+// 404. This is the federation read path: a cluster worker that misses its
+// local cache asks its upstream (the coordinator) here before simulating,
+// and a coordinator answers from the results it has already merged. The
+// bytes are exactly what the engine cached, so a federated hit is
+// indistinguishable from a local one.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !sweep.ValidCacheKey(key) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed cache key"})
+		return
+	}
+	if s.cfg.Cache == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no cache configured"})
+		return
+	}
+	b, ok := s.cfg.Cache.Get(key)
+	if !ok {
+		s.peekMisses.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "not cached"})
+		return
+	}
+	s.peekHits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,291 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whatsnext/internal/serve"
+	"whatsnext/internal/sweep"
+)
+
+// jobsOf turns specs into spec-only jobs the way a remote caller would.
+func jobsOf(specs []sweep.Spec) []sweep.Job {
+	jobs := make([]sweep.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = sweep.Job{Spec: s}
+	}
+	return jobs
+}
+
+// TestClientRetries429 fronts a real server with a shedding proxy that 429s
+// the first submissions; a client with retries rides it out, a legacy
+// client fails fast.
+func TestClientRetries429(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 2})
+
+	var sheds atomic.Int32
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && sheds.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "shed by test proxy"})
+			return
+		}
+		resp, err := forward(ts.URL, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		copyResponse(w, resp)
+	}))
+	defer proxy.Close()
+
+	legacy := serve.NewClient(proxy.URL)
+	if _, err := legacy.Run(jobsOf(specN(3))); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("legacy client should fail fast on 429, got %v", err)
+	}
+
+	sheds.Store(0)
+	cl := serve.NewClient(proxy.URL)
+	cl.Retries = 3
+	cl.RetryBase, cl.RetryMax, cl.JitterCap = time.Millisecond, 5*time.Millisecond, time.Millisecond
+	results, err := cl.Run(jobsOf(specN(3)))
+	if err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if got := sheds.Load(); got < 3 {
+		t.Errorf("proxy saw %d submissions, want >= 3 (2 shed + 1 accepted)", got)
+	}
+}
+
+// TestClientResumesDroppedStream cuts the first stream connection after two
+// event lines; the client must reconnect with ?cursor=2 and still
+// reassemble every result byte-identically.
+func TestClientResumesDroppedStream(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 1})
+
+	var mu sync.Mutex
+	var cursors []string
+	var dropped bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			mu.Lock()
+			cursors = append(cursors, r.URL.Query().Get("cursor"))
+			first := !dropped
+			dropped = true
+			mu.Unlock()
+			if first {
+				// Pass through only the first two event lines, then sever.
+				resp, err := forward(ts.URL, r)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+					return
+				}
+				defer resp.Body.Close()
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				lines := 0
+				buf := make([]byte, 1)
+				for lines < 2 {
+					if _, err := resp.Body.Read(buf); err != nil {
+						return
+					}
+					w.Write(buf)
+					if buf[0] == '\n' {
+						lines++
+					}
+				}
+				return // connection closes mid-stream
+			}
+		}
+		resp, err := forward(ts.URL, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		copyResponse(w, resp)
+	}))
+	defer proxy.Close()
+
+	specs := specN(4)
+	local, err := sweep.New(sweep.Options{Workers: 1}).Run(mustResolve(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := serve.NewClient(proxy.URL)
+	cl.Retries = 3
+	cl.RetryBase, cl.RetryMax, cl.JitterCap = time.Millisecond, 5*time.Millisecond, time.Millisecond
+	remote, err := cl.Run(jobsOf(specs))
+	if err != nil {
+		t.Fatalf("client did not survive the dropped stream: %v", err)
+	}
+	for i := range local {
+		if !bytes.Equal(remote[i], local[i]) {
+			t.Errorf("cell %d differs after resume: %s vs %s", i, remote[i], local[i])
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(cursors) < 2 {
+		t.Fatalf("expected a reconnect, saw %d stream requests", len(cursors))
+	}
+	if cursors[0] != "0" {
+		t.Errorf("first stream request cursor %q, want 0", cursors[0])
+	}
+	if cursors[1] != "2" {
+		t.Errorf("resumed stream request cursor %q, want 2 (two lines were delivered)", cursors[1])
+	}
+}
+
+// mustResolve builds echo-resolver jobs for a local reference run.
+func mustResolve(t *testing.T, specs []sweep.Spec) []sweep.Job {
+	t.Helper()
+	jobs := make([]sweep.Job, len(specs))
+	for i, s := range specs {
+		j, err := echoResolver(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// TestCachePeek covers the federation read path: after a job runs, its
+// cells are served raw by GET /v1/cache/{key}; bad keys 400 and unknown
+// keys 404.
+func TestCachePeek(t *testing.T) {
+	cache := sweep.NewMemoryCache()
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 1, Cache: cache})
+
+	specs := specN(2)
+	results, err := serve.NewClient(ts.URL).Run(jobsOf(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, s := range specs {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + s.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("peek %d: status %d", i, resp.StatusCode)
+		}
+		if !bytes.Equal(b, results[i]) {
+			t.Errorf("peek %d: %s != result %s", i, b, results[i])
+		}
+	}
+
+	if resp, _ := http.Get(ts.URL + "/v1/cache/not-a-hash"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed key: status %d, want 400", resp.StatusCode)
+	}
+	missing := sweep.Spec{Experiment: "never-ran"}.Hash()
+	if resp, _ := http.Get(ts.URL + "/v1/cache/" + missing); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFederatedCacheReadThrough: a worker-side cache that misses locally
+// pulls the bytes from the upstream peek endpoint, then serves the copy
+// locally.
+func TestFederatedCacheReadThrough(t *testing.T) {
+	upstreamCache := sweep.NewMemoryCache()
+	_, ts := newTestServer(t, serve.Config{Resolver: echoResolver, Workers: 1, Cache: upstreamCache})
+
+	spec := sweep.Spec{Experiment: "fed", TraceSeed: 7}
+	key := spec.Hash()
+	upstreamCache.Put(key, []byte(`{"trace":7}`))
+
+	local := sweep.NewMemoryCache()
+	fc := serve.NewFederatedCache(local, ts.URL, time.Second)
+
+	b, ok := fc.Get(key)
+	if !ok || string(b) != `{"trace":7}` {
+		t.Fatalf("federated get = %q, %v; want upstream bytes", b, ok)
+	}
+	if _, ok := local.Get(key); !ok {
+		t.Error("upstream hit was not copied into the local layer")
+	}
+	hits, misses, errs := fc.FederationStats()
+	if hits != 1 || errs != 0 {
+		t.Errorf("stats after hit: hits=%d misses=%d errors=%d", hits, misses, errs)
+	}
+
+	// A second Get must be served locally (upstream counters unchanged).
+	if _, ok := fc.Get(key); !ok {
+		t.Fatal("local re-read missed")
+	}
+	if h2, _, _ := fc.FederationStats(); h2 != 1 {
+		t.Errorf("second read went upstream (hits=%d)", h2)
+	}
+
+	if _, ok := fc.Get(sweep.Spec{Experiment: "absent"}.Hash()); ok {
+		t.Error("miss on both layers reported a hit")
+	}
+	if _, m2, _ := fc.FederationStats(); m2 != 1 {
+		t.Error("upstream miss not counted")
+	}
+}
+
+// forward re-issues a request against base and returns the response.
+func forward(base string, r *http.Request) (*http.Response, error) {
+	url := base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(r.Method, url, r.Body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// copyResponse relays a forwarded response to the proxy's client.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readAll drains a response body.
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"whatsnext/internal/sweep"
+)
+
+// FederatedCache is a sweep.Cache that reads through to an upstream node's
+// cache-peek endpoint (GET /v1/cache/{key}) when the local layer misses.
+// This is the worker half of cluster cache federation: a worker about to
+// simulate a cell first asks the coordinator — which has merged every
+// result any worker has ever produced — and only simulates on a double
+// miss. Writes stay local; the upstream fills itself from completed shard
+// results, so federation never pushes bytes upward.
+//
+// Upstream lookups are best-effort: a slow or unreachable upstream degrades
+// to a plain local cache (bounded by the peek timeout), never an error.
+type FederatedCache struct {
+	local    sweep.Cache
+	upstream string
+	hc       *http.Client
+
+	hits, misses, errors atomic.Int64
+}
+
+// NewFederatedCache wraps local with read-through to the upstream base URL
+// (e.g. the coordinator's "http://host:port"). timeout bounds each peek;
+// <= 0 selects 2s.
+func NewFederatedCache(local sweep.Cache, upstream string, timeout time.Duration) *FederatedCache {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &FederatedCache{
+		local:    local,
+		upstream: strings.TrimRight(upstream, "/"),
+		hc:       &http.Client{Timeout: timeout},
+	}
+}
+
+// Get serves from the local layer, then the upstream peek endpoint. An
+// upstream hit is copied into the local layer so the next lookup is free.
+func (c *FederatedCache) Get(key string) ([]byte, bool) {
+	if b, ok := c.local.Get(key); ok {
+		return b, true
+	}
+	if !sweep.ValidCacheKey(key) {
+		return nil, false
+	}
+	resp, err := c.hc.Get(c.upstream + "/v1/cache/" + key)
+	if err != nil {
+		c.errors.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.misses.Add(1)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		c.errors.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.local.Put(key, b)
+	return b, true
+}
+
+// Put stores only in the local layer.
+func (c *FederatedCache) Put(key string, val []byte) error { return c.local.Put(key, val) }
+
+// Evictions forwards the local layer's eviction count when it has one.
+func (c *FederatedCache) Evictions() int64 {
+	if ec, ok := c.local.(sweep.EvictionCounter); ok {
+		return ec.Evictions()
+	}
+	return 0
+}
+
+// FederationStats reports upstream peek outcomes: hits served by the
+// upstream, misses, and transport errors (upstream unreachable or slow).
+func (c *FederatedCache) FederationStats() (hits, misses, errors int64) {
+	return c.hits.Load(), c.misses.Load(), c.errors.Load()
+}

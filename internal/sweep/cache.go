@@ -131,17 +131,7 @@ func (c *DiskCache) Dir() string { return c.dir }
 func (c *DiskCache) Evictions() int64 { return c.mem.Evictions() }
 
 // validKey guards the filesystem against keys that are not spec hashes.
-func validKey(key string) bool {
-	if len(key) != 2*32 { // hex sha256
-		return false
-	}
-	for _, r := range key {
-		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
-			return false
-		}
-	}
-	return true
-}
+func validKey(key string) bool { return ValidCacheKey(key) }
 
 func (c *DiskCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")

@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file holds the sharding vocabulary a distributed deployment builds
+// on: split a job list into per-owner shards by any assignment of spec
+// hashes to owners (internal/cluster uses a consistent-hash ring), run the
+// shards anywhere, and merge the per-shard result slices back into
+// submission order. Because results are keyed by original index, the merged
+// slice is byte-identical to what a single Engine.Run over the whole list
+// would have produced — sharding is invisible in the output.
+
+// ValidCacheKey reports whether key has the shape of a spec hash (lowercase
+// hex SHA-256). Cache implementations and HTTP cache-peek endpoints use it
+// to guard the filesystem and URL space against arbitrary keys.
+func ValidCacheKey(key string) bool {
+	if len(key) != 2*32 {
+		return false
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Shard is the subset of a submission owned by one executor: the jobs in
+// submission order plus their original indices, so results can be merged
+// back without ambiguity.
+type Shard struct {
+	// Owner is the executor this shard is assigned to (a ring node name).
+	Owner string
+	// Indices[i] is the position of Jobs[i] in the original submission.
+	Indices []int
+	// Jobs are the shard's cells, preserving submission order.
+	Jobs []Job
+}
+
+// Partition splits jobs into per-owner shards using the supplied assignment
+// of specs to owner names. Submission order is preserved within each shard,
+// and shards come back in order of first appearance, so the partition is
+// deterministic for a deterministic owner function.
+func Partition(jobs []Job, owner func(Spec) string) []Shard {
+	index := make(map[string]int)
+	var shards []Shard
+	for i, j := range jobs {
+		o := owner(j.Spec)
+		si, ok := index[o]
+		if !ok {
+			si = len(shards)
+			index[o] = si
+			shards = append(shards, Shard{Owner: o})
+		}
+		shards[si].Indices = append(shards[si].Indices, i)
+		shards[si].Jobs = append(shards[si].Jobs, j)
+	}
+	return shards
+}
+
+// Split cuts a shard into chunks of at most cells jobs each (cells <= 0
+// means one chunk). Chunking is what gives work stealing and hedged
+// re-dispatch a useful granularity: a straggler holds up one chunk, not a
+// whole node's worth of cells.
+func (s Shard) Split(cells int) []Shard {
+	if cells <= 0 || len(s.Jobs) <= cells {
+		return []Shard{s}
+	}
+	var out []Shard
+	for start := 0; start < len(s.Jobs); start += cells {
+		end := start + cells
+		if end > len(s.Jobs) {
+			end = len(s.Jobs)
+		}
+		out = append(out, Shard{
+			Owner:   s.Owner,
+			Indices: s.Indices[start:end:end],
+			Jobs:    s.Jobs[start:end:end],
+		})
+	}
+	return out
+}
+
+// MergeShards re-interleaves per-shard result slices into submission order:
+// results[i] corresponds to shards[i] and must be index-aligned with its
+// Jobs. It errors on length mismatches, duplicate indices, and gaps, so a
+// merged slice is complete by construction.
+func MergeShards(total int, shards []Shard, results [][]json.RawMessage) ([]json.RawMessage, error) {
+	if len(results) != len(shards) {
+		return nil, fmt.Errorf("sweep: merge: %d result slices for %d shards", len(results), len(shards))
+	}
+	merged := make([]json.RawMessage, total)
+	seen := make([]bool, total)
+	for si, sh := range shards {
+		if len(results[si]) != len(sh.Jobs) {
+			return nil, fmt.Errorf("sweep: merge: shard %d (%s) returned %d results for %d jobs",
+				si, sh.Owner, len(results[si]), len(sh.Jobs))
+		}
+		for k, idx := range sh.Indices {
+			if idx < 0 || idx >= total {
+				return nil, fmt.Errorf("sweep: merge: shard %d (%s) index %d out of range [0,%d)",
+					si, sh.Owner, idx, total)
+			}
+			if seen[idx] {
+				return nil, fmt.Errorf("sweep: merge: duplicate result for index %d", idx)
+			}
+			seen[idx] = true
+			merged[idx] = results[si][k]
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("sweep: merge: no shard produced result %d", i)
+		}
+	}
+	return merged, nil
+}

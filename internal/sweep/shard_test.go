@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func shardTestJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Spec: Spec{Experiment: "shardtest", Kernel: fmt.Sprintf("k%02d", i)}}
+	}
+	return jobs
+}
+
+func TestValidCacheKey(t *testing.T) {
+	good := Spec{Experiment: "x"}.Hash()
+	if !ValidCacheKey(good) {
+		t.Fatalf("spec hash %q rejected", good)
+	}
+	for _, bad := range []string{
+		"", "abc", strings.Repeat("g", 64), strings.Repeat("A", 64),
+		strings.Repeat("0", 63), strings.Repeat("0", 65), "../../../../etc/passwd",
+	} {
+		if ValidCacheKey(bad) {
+			t.Errorf("ValidCacheKey(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestPartitionPreservesOrder(t *testing.T) {
+	jobs := shardTestJobs(10)
+	// Assign round-robin across three owners by index parity-of-3.
+	owner := func(s Spec) string {
+		var i int
+		fmt.Sscanf(s.Kernel, "k%d", &i)
+		return fmt.Sprintf("n%d", i%3)
+	}
+	shards := Partition(jobs, owner)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	// First-appearance order: n0, n1, n2.
+	for si, sh := range shards {
+		if want := fmt.Sprintf("n%d", si); sh.Owner != want {
+			t.Errorf("shard %d owner %q, want %q", si, sh.Owner, want)
+		}
+		for k := 1; k < len(sh.Indices); k++ {
+			if sh.Indices[k] <= sh.Indices[k-1] {
+				t.Errorf("shard %s indices not increasing: %v", sh.Owner, sh.Indices)
+			}
+		}
+		for k, idx := range sh.Indices {
+			if sh.Jobs[k].Spec.Kernel != jobs[idx].Spec.Kernel {
+				t.Errorf("shard %s job %d misaligned with index %d", sh.Owner, k, idx)
+			}
+		}
+	}
+}
+
+func TestSplitChunks(t *testing.T) {
+	sh := Partition(shardTestJobs(7), func(Spec) string { return "solo" })[0]
+	chunks := sh.Split(3)
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	var n int
+	for _, c := range chunks {
+		if len(c.Jobs) > 3 {
+			t.Errorf("chunk has %d cells, cap 3", len(c.Jobs))
+		}
+		if len(c.Jobs) != len(c.Indices) {
+			t.Errorf("chunk jobs/indices misaligned: %d vs %d", len(c.Jobs), len(c.Indices))
+		}
+		n += len(c.Jobs)
+	}
+	if n != 7 {
+		t.Errorf("chunks cover %d cells, want 7", n)
+	}
+	if got := sh.Split(0); len(got) != 1 || len(got[0].Jobs) != 7 {
+		t.Errorf("Split(0) should return the shard whole")
+	}
+}
+
+func TestMergeShardsRoundTrip(t *testing.T) {
+	jobs := shardTestJobs(9)
+	shards := Partition(jobs, func(s Spec) string { return s.Hash()[:1] })
+	results := make([][]json.RawMessage, len(shards))
+	for si, sh := range shards {
+		results[si] = make([]json.RawMessage, len(sh.Jobs))
+		for k, idx := range sh.Indices {
+			results[si][k] = json.RawMessage(fmt.Sprintf(`{"cell":%d}`, idx))
+		}
+	}
+	merged, err := MergeShards(len(jobs), shards, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range merged {
+		if want := fmt.Sprintf(`{"cell":%d}`, i); string(r) != want {
+			t.Errorf("merged[%d] = %s, want %s", i, r, want)
+		}
+	}
+}
+
+func TestMergeShardsErrors(t *testing.T) {
+	jobs := shardTestJobs(4)
+	shards := Partition(jobs, func(Spec) string { return "a" })
+	ok := [][]json.RawMessage{{
+		json.RawMessage(`0`), json.RawMessage(`1`), json.RawMessage(`2`), json.RawMessage(`3`),
+	}}
+
+	if _, err := MergeShards(4, shards, nil); err == nil {
+		t.Error("mismatched shard/result slice counts not rejected")
+	}
+	if _, err := MergeShards(4, shards, [][]json.RawMessage{{json.RawMessage(`0`)}}); err == nil {
+		t.Error("short shard result not rejected")
+	}
+	// Duplicate index across shards.
+	dup := append([]Shard(nil), shards...)
+	dup = append(dup, Shard{Owner: "b", Indices: []int{1}, Jobs: jobs[1:2]})
+	if _, err := MergeShards(4, dup, append(ok, []json.RawMessage{json.RawMessage(`9`)})); err == nil {
+		t.Error("duplicate index not rejected")
+	}
+	// Gap: total larger than covered cells.
+	if _, err := MergeShards(5, shards, ok); err == nil {
+		t.Error("uncovered index not rejected")
+	}
+	if _, err := MergeShards(4, shards, ok); err != nil {
+		t.Errorf("clean merge rejected: %v", err)
+	}
+}

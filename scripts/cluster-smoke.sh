@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh: end-to-end check of the distributed sweep cluster from
+# outside the process. Boots two wnserved workers on ephemeral ports and a
+# wncluster coordinator in front of them, runs the Table I sweep locally and
+# through `wnbench -remote <coordinator>`, and demands byte-identical
+# output; then kills one worker and reruns, requiring the ring to route
+# around the corpse with — again — identical bytes; finally scrapes the
+# per-node metrics and the /v1/cluster membership report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/wnserved" ./cmd/wnserved
+go build -o "$workdir/wncluster" ./cmd/wncluster
+go build -o "$workdir/wnbench" ./cmd/wnbench
+
+# Deadline-based announcement wait: fail fast with the log if the process
+# dies, instead of sleeping out the timeout against a corpse.
+wait_for_url() { # pid logfile prefix -> echoes URL
+    local pid=$1 logfile=$2 prefix=$3 deadline url
+    deadline=$(($(date +%s) + 10))
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        url=$(sed -n "s/^${prefix}: listening on //p" "$logfile")
+        if [ -n "$url" ]; then
+            echo "$url"
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster-smoke: $prefix exited before announcing its port" >&2
+            cat "$logfile" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    echo "cluster-smoke: $prefix never announced its port within 10s" >&2
+    cat "$logfile" >&2
+    return 1
+}
+
+"$workdir/wnserved" -addr 127.0.0.1:0 -quiet >"$workdir/w1.out" 2>&1 &
+w1_pid=$!; pids+=("$w1_pid")
+"$workdir/wnserved" -addr 127.0.0.1:0 -quiet >"$workdir/w2.out" 2>&1 &
+w2_pid=$!; pids+=("$w2_pid")
+w1_url=$(wait_for_url "$w1_pid" "$workdir/w1.out" wnserved)
+w2_url=$(wait_for_url "$w2_pid" "$workdir/w2.out" wnserved)
+echo "cluster-smoke: workers at $w1_url $w2_url"
+
+# Short hedge so the kill-one-worker rerun fails over quickly.
+"$workdir/wncluster" -addr 127.0.0.1:0 -quiet -hedge 2s \
+    -workers "$w1_url,$w2_url" >"$workdir/coord.out" 2>&1 &
+coord_pid=$!; pids+=("$coord_pid")
+coord_url=$(wait_for_url "$coord_pid" "$workdir/coord.out" wncluster)
+echo "cluster-smoke: coordinator at $coord_url"
+
+curl -sf "$coord_url/healthz" >/dev/null
+curl -sf "$coord_url/readyz" >/dev/null
+curl -sf "$coord_url/v1/cluster" >"$workdir/cluster.json"
+[ "$(grep -o '"name"' "$workdir/cluster.json" | wc -l)" -eq 2 ] \
+    || { echo "cluster-smoke: /v1/cluster does not report 2 nodes"; cat "$workdir/cluster.json"; exit 1; }
+
+"$workdir/wnbench" -exp table1 >"$workdir/local.txt"
+"$workdir/wnbench" -exp table1 -remote "$coord_url" >"$workdir/cluster1.txt"
+if ! diff -u "$workdir/local.txt" "$workdir/cluster1.txt"; then
+    echo "cluster-smoke: 2-worker cluster output differs from local run"
+    exit 1
+fi
+echo "cluster-smoke: 2-worker Table I output is byte-identical to local"
+
+# Both workers must have actually completed shards.
+curl -sf "$coord_url/metrics" >"$workdir/metrics1.txt"
+for url in "$w1_url" "$w2_url"; do
+    grep -q "^wn_cluster_shards_completed_total{node=\"$url\"} [1-9]" "$workdir/metrics1.txt" \
+        || { echo "cluster-smoke: node $url completed no shards"; cat "$workdir/metrics1.txt"; exit 1; }
+done
+echo "cluster-smoke: both nodes completed shards"
+
+# Kill a worker; use a figure sweep (not yet in the coordinator cache) so
+# the ring must genuinely re-dispatch onto the survivor — and still match
+# the local bytes.
+"$workdir/wnbench" -exp fig10 >"$workdir/local-fig10.txt"
+kill "$w2_pid" 2>/dev/null
+wait "$w2_pid" 2>/dev/null || true
+echo "cluster-smoke: killed worker $w2_url"
+"$workdir/wnbench" -exp fig10 -remote "$coord_url" >"$workdir/cluster-fig10.txt"
+if ! diff -u "$workdir/local-fig10.txt" "$workdir/cluster-fig10.txt"; then
+    echo "cluster-smoke: output after worker death differs from local run"
+    exit 1
+fi
+echo "cluster-smoke: ring routed around the dead worker byte-identically"
+
+curl -sf "$coord_url/metrics" >"$workdir/metrics2.txt"
+grep -q "^wn_cluster_shards_failed_total{node=\"$w2_url\"} [1-9]" "$workdir/metrics2.txt" \
+    || { echo "cluster-smoke: dead node shows no failed shards"; cat "$workdir/metrics2.txt"; exit 1; }
+grep -q "^wn_cluster_jobs_done_total [1-9]" "$workdir/metrics2.txt" \
+    || { echo "cluster-smoke: no completed jobs in metrics"; exit 1; }
+echo "cluster-smoke: per-node metrics consistent"
+
+kill -TERM "$coord_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$coord_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$coord_pid" 2>/dev/null; then
+    echo "cluster-smoke: coordinator did not drain within 10s of SIGTERM"
+    exit 1
+fi
+grep -q 'wncluster: bye' "$workdir/coord.out" \
+    || { echo "cluster-smoke: missing clean-shutdown marker"; cat "$workdir/coord.out"; exit 1; }
+echo "cluster-smoke: graceful drain OK"
