@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"whatsnext/internal/wncheck"
+)
+
+// SARIF 2.1.0 output, for uploading findings as GitHub code-scanning
+// annotations. The mapping (documented in the README wnlint section):
+//
+//	wncheck code       -> result.ruleId and the driver rule's id
+//	formal condition   -> rule.properties.condition
+//	severity           -> result.level (info=note, warning=warning, error=error)
+//	file:line          -> physicalLocation artifactLocation.uri + region.startLine
+//	instruction addr   -> result.properties.pc (hex)
+//	region extents     -> result.properties.regionStart/regionEnd (hex)
+//	occurrence count   -> result.occurrenceCount
+//
+// Only the fields code-scanning consumes are emitted; the schema reference
+// is pinned in $schema.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifText         `json:"shortDescription"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID          string          `json:"ruleId"`
+	Level           string          `json:"level"`
+	Message         sarifText       `json:"message"`
+	Locations       []sarifLocation `json:"locations,omitempty"`
+	OccurrenceCount int             `json:"occurrenceCount,omitempty"`
+	Properties      map[string]any  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+func sarifLevel(s wncheck.Severity) string {
+	switch {
+	case s >= wncheck.Error:
+		return "error"
+	case s >= wncheck.Warning:
+		return "warning"
+	}
+	return "note"
+}
+
+// sarifFinding pairs one diagnostic with the file it came from.
+type sarifFinding struct {
+	file string
+	diag wncheck.Diagnostic
+}
+
+// writeSARIF renders all findings of the invocation as one SARIF run.
+func writeSARIF(w io.Writer, findings []sarifFinding) error {
+	driver := sarifDriver{
+		Name:           "wnlint",
+		InformationURI: "https://github.com/CMUAbstract/whats-next",
+	}
+	for _, r := range wncheck.Rules() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Code,
+			ShortDescription: sarifText{Text: r.Statement},
+			Properties:       map[string]string{"condition": r.Condition},
+		})
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		d := f.diag
+		res := sarifResult{
+			RuleID:          d.Code,
+			Level:           sarifLevel(d.Severity),
+			Message:         sarifText{Text: d.Msg},
+			OccurrenceCount: d.Count,
+			Properties:      map[string]any{"pc": d.Addr},
+		}
+		loc := sarifPhysical{ArtifactLocation: sarifArtifact{URI: f.file}}
+		if d.Line > 0 {
+			loc.Region = &sarifRegion{StartLine: d.Line}
+		}
+		res.Locations = []sarifLocation{{PhysicalLocation: loc}}
+		if d.RegionStart != 0 || d.RegionEnd != 0 {
+			res.Properties["regionStart"] = d.RegionStart
+			res.Properties["regionEnd"] = d.RegionEnd
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"whatsnext/internal/asm"
+	"whatsnext/internal/wncheck"
 )
 
 // Options selects the compilation strategy for a kernel.
@@ -15,6 +16,10 @@ type Options struct {
 	VectorLoads bool
 	// NoSkim suppresses skim-point insertion (ablation).
 	NoSkim bool
+	// DisableChecks skips the post-emit static verification (and the
+	// certificate that comes with it). Only for compiler-internal tests
+	// that deliberately construct hazardous code.
+	DisableChecks bool
 }
 
 // Compiled is a fully lowered kernel: assembly text, the assembled program
@@ -27,6 +32,9 @@ type Compiled struct {
 	Program     *asm.Program
 	Layout      *Layout
 	EndLabel    string
+	// Cert is the wncheck verification certificate for the emitted image
+	// (nil when Options.DisableChecks is set).
+	Cert *wncheck.Certificate
 }
 
 // Compile lowers a kernel under the given options.
@@ -87,8 +95,12 @@ func Compile(k *Kernel, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compiler: %s: assembling generated code: %w", k.Name, err)
 	}
-	if err := verifyEmitted(k.Name, prog); err != nil {
-		return nil, err
+	var cert *wncheck.Certificate
+	if !opts.DisableChecks {
+		cert, err = verifyEmitted(k.Name, prog)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Compiled{
 		Kernel:      target,
@@ -98,5 +110,6 @@ func Compile(k *Kernel, opts Options) (*Compiled, error) {
 		Program:     prog,
 		Layout:      layout,
 		EndLabel:    endLabel,
+		Cert:        cert,
 	}, nil
 }

@@ -62,17 +62,18 @@ func (ra *regalloc) release(r isa.Reg) {
 }
 
 // verifyEmitted runs the static verifier — including the crash-consistency
-// analysis, so every compile is self-certifying for power-failure soundness.
+// analysis, so every compile is self-certifying for power-failure soundness
+// and returns the verification certificate alongside the image.
 // Error-severity findings in generated code are compiler bugs, so they fail
 // the compilation; warnings and info findings are left to wnlint.
-func verifyEmitted(name string, prog *asm.Program) error {
-	res, err := wncheck.Check(prog, wncheck.Options{Crash: true})
+func verifyEmitted(name string, prog *asm.Program) (*wncheck.Certificate, error) {
+	res, cert, err := wncheck.Verify(prog, wncheck.Options{Crash: true})
 	if err != nil {
-		return fmt.Errorf("compiler: %s: verifying generated code: %w", name, err)
+		return nil, fmt.Errorf("compiler: %s: verifying generated code: %w", name, err)
 	}
 	errs := res.Errors()
 	if len(errs) == 0 {
-		return nil
+		return cert, nil
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "compiler: %s: generated code fails static verification (%d errors)", name, len(errs))
@@ -83,5 +84,5 @@ func verifyEmitted(name string, prog *asm.Program) error {
 		}
 		fmt.Fprintf(&b, "; %s", d)
 	}
-	return fmt.Errorf("%s", b.String())
+	return nil, fmt.Errorf("%s", b.String())
 }

@@ -1,0 +1,354 @@
+package faultinject
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"whatsnext/internal/cpu"
+	"whatsnext/internal/energy"
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+	"whatsnext/internal/wncheck"
+)
+
+// Static↔dynamic cross-validation: CrossValidate consumes a wncheck
+// verification certificate and checks both directions of the contract it
+// states.
+//
+//   - Soundness of the proof: a power failure at any instruction boundary
+//     inside proven (un-flagged) territory must leave the final NV data
+//     bit-exact against an uninterrupted golden run. Any divergence there
+//     is a Violation — either the analysis or the runtime is wrong.
+//   - Non-vacuousness of the findings: every flagged region must be
+//     witnessable — some kill whose resume point falls inside the region's
+//     hazard window must produce a real divergence, recorded with its kill
+//     cycle and first differing word. A flagged region nothing can witness
+//     is a false alarm worth investigating (or a region only a weaker
+//     runtime than the configured one can expose).
+//
+// Input locations (CrossConfig.InputWords) extend the oracle from one
+// golden run to a small set of worlds: every forced failure advances the
+// declared input words by one, modeling an external world that moved on
+// while the device was dark. An injected run is then clean iff its final
+// NV data (with the input words themselves masked) matches SOME single
+// world's golden run — the formal memory-consistency condition. A state
+// matching no world is exactly the repeated-input hazard WN105 flags.
+type CrossConfig struct {
+	Config
+	// InputWords lists word-aligned NV data addresses treated as input
+	// (sensor/IO) locations: advanced by one on every forced failure and
+	// masked from the bit-exact comparison. Should mirror the
+	// wncheck.Options.Input ranges the certificate was produced under.
+	InputWords []uint32
+	// MaxPoints caps the injected boundaries. Boundaries whose resume point
+	// falls inside a flagged region's hazard window are always kept; the
+	// certified remainder is sampled evenly. Zero means exhaustive.
+	MaxPoints int
+}
+
+// RegionOutcome is the dynamic fate of one flagged region.
+type RegionOutcome struct {
+	Region  wncheck.Region
+	Witness *Divergence // first divergence whose resume PC fell in the window; nil if none
+}
+
+// CrossReport summarizes a cross-validation campaign.
+type CrossReport struct {
+	Target          string
+	Policy          string
+	GoldenCycles    uint64
+	Worlds          int // golden worlds compared against (1 + one per input advance modeled)
+	Points          int // boundaries injected
+	CertifiedPoints int // injected boundaries inside proven territory
+	// Violations are divergences at certified boundaries: the proof said
+	// this could not happen.
+	Violations []Divergence
+	// Outcomes report each flagged region in certificate order.
+	Outcomes []RegionOutcome
+	// Residual counts divergences inside flagged windows beyond each
+	// region's first witness. Expected for real hazards (many kills in the
+	// window diverge); never a soundness problem.
+	Residual int
+}
+
+// Validated reports whether both directions of the contract held: no
+// divergence in proven territory, and every flagged region witnessed.
+func (r *CrossReport) Validated() bool {
+	if len(r.Violations) > 0 {
+		return false
+	}
+	for _, o := range r.Outcomes {
+		if o.Witness == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *CrossReport) String() string {
+	witnessed := 0
+	for _, o := range r.Outcomes {
+		if o.Witness != nil {
+			witnessed++
+		}
+	}
+	return fmt.Sprintf("crossvalidate: %s under %s: %d points (%d certified clean), %d/%d regions witnessed, %d violations, %d residual",
+		r.Target, r.Policy, r.Points, r.CertifiedPoints, witnessed, len(r.Outcomes), len(r.Violations), r.Residual)
+}
+
+// goldenWorld is one uninterrupted pure-CPU execution of the target against
+// one input world: the per-instruction resume PCs and costs (world 0 only —
+// the boundary schedule), and the final NV data.
+type goldenWorld struct {
+	pcs    []uint32
+	costs  []cpu.Cost
+	cycles uint64
+	data   []byte
+}
+
+// goldenRun executes the target uninterrupted on a bare CPU — no policy, so
+// the per-instruction PC trace is exactly the boundary → resume-PC map the
+// injected runs share (kill cycles are pure CPU cycles in both). bump
+// advances every input word before the run, producing the alternate-world
+// goldens.
+func goldenRun(t Target, cfg Config, inputWords []uint32, bump uint32) (*goldenWorld, error) {
+	m := mem.New(cfg.Mem)
+	if err := m.LoadProgram(t.Image); err != nil {
+		return nil, err
+	}
+	if t.Install != nil {
+		if err := t.Install(m); err != nil {
+			return nil, err
+		}
+	}
+	if bump != 0 {
+		for _, w := range inputWords {
+			v, err := m.LoadWord(w)
+			if err != nil {
+				return nil, fmt.Errorf("input word %#08x: %w", w, err)
+			}
+			if err := m.StoreWord(w, v+bump); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c := cpu.New(m)
+	c.SetAmenablePCs(t.Amenable)
+
+	g := &goldenWorld{}
+	const guard = uint64(1) << 32
+	for !c.Halted {
+		if g.cycles > guard {
+			return nil, fmt.Errorf("golden run did not halt within %d cycles", guard)
+		}
+		pc := c.Regs[isa.PC]
+		cost, err := c.Step()
+		if err != nil {
+			return nil, err
+		}
+		g.pcs = append(g.pcs, pc)
+		g.costs = append(g.costs, cost)
+		g.cycles += uint64(cost.Cycles)
+	}
+	g.data = make([]byte, cfg.Mem.DataBytes)
+	if err := m.ReadData(mem.DataBase, g.data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// maskInputs zeroes the declared input words in a copy of an NV data image,
+// so world comparison ignores the input locations themselves (they differ
+// by construction after an advance).
+func maskInputs(data []byte, inputWords []uint32) []byte {
+	if len(inputWords) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	for _, w := range inputWords {
+		off := int(w - mem.DataBase)
+		if off >= 0 && off+4 <= len(out) {
+			binary.LittleEndian.PutUint32(out[off:], 0)
+		}
+	}
+	return out
+}
+
+// hazardWindow reports whether a resume PC falls inside the kill window of
+// a flagged region. The window is one instruction wider than the region on
+// both sides: killing just past the region's last instruction is what
+// exposes a WAR/RMW (the write has landed, replay re-reads it), and killing
+// at the first instruction costs nothing to include.
+func hazardWindow(r wncheck.Region, pc uint32) bool {
+	return pc >= r.Start && pc <= r.End+isa.InstBytes
+}
+
+// CrossValidate runs the certificate's contract against the device. The
+// certificate must describe t.Image (hashes are checked).
+func CrossValidate(t Target, cfg CrossConfig, cert *wncheck.Certificate) (*CrossReport, error) {
+	if cert == nil {
+		return nil, fmt.Errorf("crossvalidate: nil certificate")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("crossvalidate: Config.Policy is required")
+	}
+	if cfg.Mem == (mem.Config{}) {
+		cfg.Mem = mem.DefaultConfig()
+	}
+	if cfg.Device == (energy.DeviceConfig{}) {
+		cfg.Device = energy.DefaultDeviceConfig()
+	}
+	sum := sha256.Sum256(t.Image)
+	if got := hex.EncodeToString(sum[:]); got != cert.ImageSHA256 {
+		return nil, fmt.Errorf("crossvalidate: %s: certificate is for image %s, target is %s", t.Name, cert.ImageSHA256, got)
+	}
+
+	world0, err := goldenRun(t, cfg.Config, cfg.InputWords, 0)
+	if err != nil {
+		return nil, fmt.Errorf("crossvalidate: %s: golden run: %w", t.Name, err)
+	}
+	goldens := [][]byte{maskInputs(world0.data, cfg.InputWords)}
+	if len(cfg.InputWords) > 0 {
+		world1, err := goldenRun(t, cfg.Config, cfg.InputWords, 1)
+		if err != nil {
+			return nil, fmt.Errorf("crossvalidate: %s: world-1 golden run: %w", t.Name, err)
+		}
+		goldens = append(goldens, maskInputs(world1.data, cfg.InputWords))
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 4*world0.cycles + 65536
+	}
+
+	rep := &CrossReport{
+		Target:       t.Name,
+		Policy:       cfg.Policy().Name(),
+		GoldenCycles: world0.cycles,
+		Worlds:       len(goldens),
+	}
+	for _, fr := range cert.Flagged {
+		rep.Outcomes = append(rep.Outcomes, RegionOutcome{Region: fr})
+	}
+
+	// Every instruction boundary of the golden run: the cycle at which to
+	// kill and the PC execution resumes from (= the PC about to execute).
+	type boundary struct {
+		cycle   uint64
+		instr   uint64
+		pc      uint32
+		flagged bool
+	}
+	var bounds []boundary
+	var cum uint64
+	for i, pc := range world0.pcs {
+		b := boundary{cycle: cum, instr: uint64(i), pc: pc}
+		for _, fr := range cert.Flagged {
+			if hazardWindow(fr, pc) {
+				b.flagged = true
+				break
+			}
+		}
+		bounds = append(bounds, b)
+		cum += uint64(world0.costs[i].Cycles)
+	}
+
+	selected := bounds
+	if cfg.MaxPoints > 0 && len(bounds) > cfg.MaxPoints {
+		// Keep every flagged-window boundary (they carry the witnesses),
+		// sample the certified remainder evenly.
+		var flagged, certified []boundary
+		for _, b := range bounds {
+			if b.flagged {
+				flagged = append(flagged, b)
+			} else {
+				certified = append(certified, b)
+			}
+		}
+		selected = flagged
+		if keep := cfg.MaxPoints - len(flagged); keep > 0 && len(certified) > 0 {
+			if keep >= len(certified) {
+				selected = append(selected, certified...)
+			} else {
+				for i := 0; i < keep; i++ {
+					selected = append(selected, certified[i*len(certified)/keep])
+				}
+			}
+		}
+	}
+
+	var onKill func(*mem.Memory)
+	if len(cfg.InputWords) > 0 {
+		onKill = func(m *mem.Memory) {
+			for _, w := range cfg.InputWords {
+				if v, err := m.LoadWord(w); err == nil {
+					_ = m.StoreWord(w, v+1)
+				}
+			}
+		}
+	}
+
+	for _, b := range selected {
+		got, err := runOnce(t, cfg.Config, b.cycle, cfg.Budget, nil, onKill)
+		if err != nil {
+			return nil, fmt.Errorf("crossvalidate: %s: kill at cycle %d: %w", t.Name, b.cycle, err)
+		}
+		rep.Points++
+		if !b.flagged {
+			rep.CertifiedPoints++
+		}
+
+		div, diverged := crossDiff(b.cycle, b.instr, goldens, &got, cfg.InputWords)
+		if !diverged {
+			continue
+		}
+		if !b.flagged {
+			rep.Violations = append(rep.Violations, div)
+			continue
+		}
+		credited := false
+		for i := range rep.Outcomes {
+			if rep.Outcomes[i].Witness == nil && hazardWindow(rep.Outcomes[i].Region, b.pc) {
+				d := div
+				rep.Outcomes[i].Witness = &d
+				credited = true
+			}
+		}
+		if !credited {
+			rep.Residual++
+		}
+	}
+	return rep, nil
+}
+
+// crossDiff compares an injected run against every golden world; a run
+// matching none of them is a divergence, reported against world 0.
+func crossDiff(cycle, instr uint64, goldens [][]byte, got *runResult, inputWords []uint32) (Divergence, bool) {
+	if !got.halted {
+		return Divergence{KillCycle: cycle, KillInstruction: instr}, true
+	}
+	masked := maskInputs(got.data, inputWords)
+	for _, g := range goldens {
+		if bytes.Equal(g, masked) {
+			return Divergence{}, false
+		}
+	}
+	d := Divergence{KillCycle: cycle, KillInstruction: instr, Halted: true}
+	want := goldens[0]
+	first := true
+	for off := 0; off+4 <= len(want); off += 4 {
+		w := binary.LittleEndian.Uint32(want[off:])
+		g := binary.LittleEndian.Uint32(masked[off:])
+		if w == g {
+			continue
+		}
+		d.Words++
+		if first {
+			first = false
+			d.Addr = mem.DataBase + uint32(off)
+			d.Got, d.Want = g, w
+		}
+	}
+	return d, true
+}

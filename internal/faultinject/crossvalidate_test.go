@@ -33,8 +33,10 @@ func tinyParams(name string) workloads.Params {
 // TestKernelsCertifiedAndSurviveInjection is the kernel-level
 // cross-validation: every Table I benchmark, compiled precise, is (a)
 // certified crash-consistent by the static analysis — zero error-severity
-// findings with the crash pass on — and (b) bit-exact under strided power
-// failure injection (24 points, stride documented in the report) under
+// findings and an empty flagged-region set in the verification certificate —
+// and (b) sound under certificate-driven injection: CrossValidate samples
+// instruction boundaries across the run and every one of them, being in
+// proven territory, must reproduce the golden memory bit-exactly under
 // Clank, NVP, and the undo log.
 //
 // Precise variants are the right vehicle for the bit-exactness half: skim
@@ -53,7 +55,7 @@ func TestKernelsCertifiedAndSurviveInjection(t *testing.T) {
 				t.Fatalf("compile: %v", err)
 			}
 
-			res, err := wncheck.Check(c.Program, wncheck.Options{Crash: true})
+			res, cert, err := wncheck.Verify(c.Program, wncheck.Options{Crash: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,21 +64,26 @@ func TestKernelsCertifiedAndSurviveInjection(t *testing.T) {
 					t.Fatalf("static certification failed: %s", d)
 				}
 			}
+			if len(cert.Flagged) > 0 {
+				t.Fatalf("certificate is not clean: flagged regions %+v", cert.Flagged)
+			}
 
 			target := faultinject.FromCompiled(b.Name, c, b.Inputs(p, 1))
 			for _, rt := range []string{"clank", "nvp", "undolog"} {
-				rep, err := faultinject.Run(target,
-					faultinject.Config{Policy: policyFactory(rt)},
-					faultinject.Schedule{Points: 24})
+				rep, err := faultinject.CrossValidate(target,
+					faultinject.CrossConfig{
+						Config:    faultinject.Config{Policy: policyFactory(rt)},
+						MaxPoints: 24,
+					}, cert)
 				if err != nil {
 					t.Fatalf("%s: %v", rt, err)
 				}
-				if !rep.Clean() {
-					t.Errorf("%s: %d divergences; first: %s", rt, len(rep.Divergences), rep.Divergences[0])
+				if !rep.Validated() {
+					t.Errorf("%s: %s; first violation: %s", rt, rep, rep.Violations[0])
 					continue
 				}
-				t.Logf("%s: clean over %d kill points (stride ~%d of %d cycles)",
-					rt, rep.Points, rep.StrideCycles, rep.GoldenCycles)
+				t.Logf("%s: %d certified boundaries clean over %d golden cycles",
+					rt, rep.CertifiedPoints, rep.GoldenCycles)
 			}
 		})
 	}

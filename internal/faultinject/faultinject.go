@@ -88,8 +88,9 @@ type Report struct {
 	Policy             string
 	GoldenCycles       uint64 // pure CPU cycles of the uninterrupted run
 	GoldenInstructions uint64
-	Points             int    // kill points actually injected
-	StrideCycles       uint64 // mean cycle distance between kill points
+	Points             int      // kill points actually injected
+	StrideCycles       uint64   // mean cycle distance between kill points
+	Schedule           []uint64 // the exact kill cycles, in injection order
 	Divergences        []Divergence
 }
 
@@ -121,7 +122,7 @@ func Run(t Target, cfg Config, sched Schedule) (*Report, error) {
 	}
 
 	var costs []cpu.Cost
-	golden, err := runOnce(t, cfg, noKill, ^uint64(0), &costs)
+	golden, err := runOnce(t, cfg, noKill, ^uint64(0), &costs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("faultinject: %s: golden run: %w", t.Name, err)
 	}
@@ -145,7 +146,8 @@ func Run(t Target, cfg Config, sched Schedule) (*Report, error) {
 	}
 
 	for _, kill := range points {
-		got, err := runOnce(t, cfg, kill.cycle, cfg.Budget, nil)
+		rep.Schedule = append(rep.Schedule, kill.cycle)
+		got, err := runOnce(t, cfg, kill.cycle, cfg.Budget, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: %s: kill at cycle %d: %w", t.Name, kill.cycle, err)
 		}

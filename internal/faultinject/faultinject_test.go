@@ -33,6 +33,8 @@ func policyFactory(name string) func() intermittent.Policy {
 		return func() intermittent.Policy { return intermittent.NewNVP(intermittent.DefaultNVPConfig()) }
 	case "undolog":
 		return func() intermittent.Policy { return intermittent.NewUndoLog(intermittent.DefaultUndoLogConfig()) }
+	case "naive":
+		return func() intermittent.Policy { return intermittent.NewNaive(intermittent.DefaultNaiveConfig()) }
 	}
 	panic("unknown policy " + name)
 }
@@ -185,5 +187,101 @@ func TestStridedSchedule(t *testing.T) {
 	}
 	if rep.StrideCycles == 0 || rep.StrideCycles >= rep.GoldenCycles {
 		t.Fatalf("implausible stride %d for %d golden cycles", rep.StrideCycles, rep.GoldenCycles)
+	}
+}
+
+// A stride-k schedule is a contract, not a heuristic: the injected kill
+// cycles must be exactly k*total/(n+1) for k = 1..n, in order, as recorded
+// in Report.Schedule.
+func TestStridedScheduleExactCycles(t *testing.T) {
+	p, err := asm.Assemble(cleanAccum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	rep, err := faultinject.Run(faultinject.FromProgram("accum", p),
+		faultinject.Config{Policy: policyFactory("nvp")},
+		faultinject.Schedule{Points: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schedule) != n {
+		t.Fatalf("Schedule has %d cycles, want %d: %v", len(rep.Schedule), n, rep.Schedule)
+	}
+	for k := uint64(1); k <= n; k++ {
+		want := k * rep.GoldenCycles / (n + 1)
+		if got := rep.Schedule[k-1]; got != want {
+			t.Errorf("Schedule[%d] = %d, want %d (k*total/(n+1) with total %d)",
+				k-1, got, want, rep.GoldenCycles)
+		}
+	}
+}
+
+// sramStage is a WN103 hazard small enough for a full exhaustive campaign:
+// a result staged in volatile SRAM, read back after a windowed delay. Under
+// NVP any failure inside the window wipes the staged word.
+const sramStage = `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R1, #0
+	MOVTI R1, #8192
+	LDR R2, [R0, #0]
+	ADDI R2, R2, #7
+	STR R2, [R1, #0]
+	MOVI R3, #40
+spin:
+	SUBIS R3, R3, #1
+	BNE spin
+	LDR R4, [R1, #0]
+	STR R4, [R0, #4]
+	HALT
+`
+
+// An exhaustive campaign kills at every boundary a strided one samples, so
+// its witness set must be a superset of the strided one's: every kill
+// instruction the strided schedule found divergent must be divergent in the
+// exhaustive report too.
+func TestExhaustiveSupersetOfStridedWitnesses(t *testing.T) {
+	p, err := asm.Assemble(sramStage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wncheck.Check(p, wncheck.Options{Crash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasWN103 := false
+	for _, d := range res.Diags {
+		if d.Code == wncheck.CodeVolatileCross {
+			hasWN103 = true
+		}
+	}
+	if !hasWN103 {
+		t.Fatalf("seeded program not flagged with WN103: %v", res.Diags)
+	}
+
+	target := faultinject.FromProgram("sram_stage", p)
+	cfg := faultinject.Config{Policy: policyFactory("nvp")}
+	strided, err := faultinject.Run(target, cfg, faultinject.Schedule{Points: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err := faultinject.Run(target, cfg, faultinject.Schedule{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strided.Clean() || exhaustive.Clean() {
+		t.Fatalf("expected both campaigns to witness the hazard (strided %d, exhaustive %d divergences)",
+			len(strided.Divergences), len(exhaustive.Divergences))
+	}
+	witnessed := make(map[uint64]bool)
+	for _, d := range exhaustive.Divergences {
+		witnessed[d.KillInstruction] = true
+	}
+	for _, d := range strided.Divergences {
+		if !witnessed[d.KillInstruction] {
+			t.Errorf("strided witness at instruction %d (cycle %d) absent from the exhaustive campaign",
+				d.KillInstruction, d.KillCycle)
+		}
 	}
 }

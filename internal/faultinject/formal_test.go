@@ -1,0 +1,125 @@
+package faultinject_test
+
+import (
+	"testing"
+
+	"whatsnext/internal/faultinject"
+	"whatsnext/internal/mem"
+	"whatsnext/internal/wncheck"
+)
+
+// TestFormalRulesCrossValidated is the full certificate contract over the
+// seeded corpus for the formal-conditions tier: each program carries exactly
+// one WN105–WN108 hazard, and for each the static analysis must flag it
+// with real region extents, the verification certificate must carry the
+// flagged region, and CrossValidate must both witness the region with a
+// concrete kill cycle + differing word AND find zero divergence at any
+// certified (proven-clean) boundary.
+//
+// The runtime per rule is the weakest one that exposes the hazard:
+//
+//   - WN105 runs under NVP with the input word declared — in-place resume is
+//     what splices two input worlds into one final state. Checkpointing
+//     runtimes replay both reads consistently here.
+//   - WN106/WN108 run under the naive runtime: Clank, NVP, and the undo log
+//     each dynamically repair WAR/RMW re-execution, which is exactly why
+//     those rules are advisory rather than a contract violation under the
+//     certified runtimes.
+//   - WN107 runs under all three certified runtimes: skim resumption is
+//     honored by each, and none can roll a persisted NV store back past the
+//     skim target.
+func TestFormalRulesCrossValidated(t *testing.T) {
+	inputRange := wncheck.AddrRange{Start: mem.DataBase, End: mem.DataBase + 4}
+	cases := []struct {
+		file     string
+		code     string
+		runtimes []string
+		opts     wncheck.Options
+		inputs   []uint32
+	}{
+		{
+			file: "repeated_input.s", code: wncheck.CodeRepeatedInput,
+			runtimes: []string{"nvp"},
+			opts:     wncheck.Options{Crash: true, Input: []wncheck.AddrRange{inputRange}},
+			inputs:   []uint32{mem.DataBase},
+		},
+		{
+			file: "war_crossblock.s", code: wncheck.CodeWARCross,
+			runtimes: []string{"naive"},
+			opts:     wncheck.Options{Crash: true},
+		},
+		{
+			file: "commit_order.s", code: wncheck.CodeCommitOrder,
+			runtimes: []string{"clank", "nvp", "undolog"},
+			opts:     wncheck.Options{Crash: true},
+		},
+		{
+			file: "rmw_nonidem.s", code: wncheck.CodeNonIdempotent,
+			runtimes: []string{"naive"},
+			opts:     wncheck.Options{Crash: true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			p := loadProgram(t, tc.file)
+			res, cert, err := wncheck.Verify(p, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var flagged *wncheck.Diagnostic
+			for i, d := range res.Diags {
+				if d.Code == tc.code {
+					flagged = &res.Diags[i]
+				}
+			}
+			if flagged == nil {
+				t.Fatalf("static analysis did not flag %s with %s: %v", tc.file, tc.code, res.Diags)
+			}
+			if flagged.RegionEnd <= flagged.RegionStart {
+				t.Fatalf("%s finding has no region extent: [%#x, %#x]",
+					tc.code, flagged.RegionStart, flagged.RegionEnd)
+			}
+
+			certRegions := 0
+			for _, r := range cert.Flagged {
+				if r.Code == tc.code {
+					certRegions++
+				}
+			}
+			if certRegions == 0 {
+				t.Fatalf("certificate carries no %s region: %+v", tc.code, cert.Flagged)
+			}
+
+			target := faultinject.FromProgram(tc.file, p)
+			for _, rt := range tc.runtimes {
+				cfg := faultinject.CrossConfig{
+					Config:     faultinject.Config{Policy: policyFactory(rt)},
+					InputWords: tc.inputs,
+				}
+				rep, err := faultinject.CrossValidate(target, cfg, cert)
+				if err != nil {
+					t.Fatalf("%s: %v", rt, err)
+				}
+				for _, v := range rep.Violations {
+					t.Errorf("%s: divergence at CERTIFIED boundary: %s", rt, v)
+				}
+				for _, o := range rep.Outcomes {
+					if o.Witness == nil {
+						t.Errorf("%s: flagged region %s [%#x, %#x] has no dynamic witness over %d points",
+							rt, o.Region.Code, o.Region.Start, o.Region.End, rep.Points)
+						continue
+					}
+					if o.Witness.Halted && o.Witness.Words == 0 {
+						t.Errorf("%s: witness for %s carries no differing word", rt, o.Region.Code)
+					}
+					t.Logf("%s under %s: region [%#x, %#x] witnessed: %s",
+						tc.file, rt, o.Region.Start, o.Region.End, o.Witness)
+				}
+				if !rep.Validated() {
+					t.Errorf("%s: %s", rt, rep)
+				}
+			}
+		})
+	}
+}

@@ -59,14 +59,17 @@ type runResult struct {
 // runOnce executes the target on a fresh device, killing power at the
 // first instruction boundary at or after killCycle (pure CPU cycles).
 // When collect is non-nil every instruction's cost is appended, giving the
-// caller the golden run's boundary schedule.
+// caller the golden run's boundary schedule. When onKill is non-nil it runs
+// right after the forced failure/restore round trip — CrossValidate uses it
+// to advance input locations, modeling an external world that moved on
+// while the device was dark.
 //
 // The loop mirrors the batched executor in internal/intermittent: windows
 // are bounded by the policy's horizon so overhead charges (watchdog
 // checkpoints) land on the exact instruction the reference path would
 // pick, and NV-data stores are routed through Step so BeforeStore hooks
 // (Clank's violation checkpoints, the undo log) retain full fidelity.
-func runOnce(t Target, cfg Config, killCycle, budget uint64, collect *[]cpu.Cost) (runResult, error) {
+func runOnce(t Target, cfg Config, killCycle, budget uint64, collect *[]cpu.Cost, onKill func(*mem.Memory)) (runResult, error) {
 	m := mem.New(cfg.Mem)
 	if err := m.LoadProgram(t.Image); err != nil {
 		return runResult{}, err
@@ -113,6 +116,9 @@ func runOnce(t Target, cfg Config, killCycle, budget uint64, collect *[]cpu.Cost
 		if !killed && cycles >= killCycle {
 			killed = true
 			r.ForceFailure()
+			if onKill != nil {
+				onKill(m)
+			}
 			forceStep = false
 			continue
 		}

@@ -1,0 +1,32 @@
+; Seeded hazard: an NV commit inside an armed skim interval that the skim
+; target observes.
+;
+; The skim point arms resumption at `commit`, which publishes A (data+0) to
+; OUT (data+4). Both stores to A sit inside the armed interval, so a power
+; failure between them resumes at `commit` with only the first store
+; persisted: OUT = 5 instead of the golden 9. wncheck -crash flags the first
+; store (WN107, commit-ordering violation). Every certified runtime
+; witnesses it — skim resumption is honored by Clank, NVP, and the undo log
+; alike, and none of them can roll an already-persisted NV store back past
+; the skim target.
+; Golden result: A (data+0) = 9, OUT (data+4) = 9.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	MOVI R4, #5
+	MOVI R5, #9
+	.amenable
+	ADDI R6, R6, #0      ; token anytime work justifying the skim point
+	SKM commit           ; outages from here resume at commit
+	STR R4, [R0, #0]     ; WN107: A = 5, observed by the skim target
+	MOVI R3, #100
+spin:
+	SUBIS R3, R3, #1
+	BNE spin             ; window in which a failure resumes at commit
+	STR R5, [R0, #0]     ; A = 9 — the value an uninterrupted run commits
+commit:
+	MOVI R0, #0
+	MOVTI R0, #4096      ; rebuild the base: the target assumes no registers
+	LDR R1, [R0, #0]     ; publish whatever A holds
+	STR R1, [R0, #4]     ; OUT
+	HALT

@@ -1,0 +1,27 @@
+; Seeded hazard: the same input word sampled twice across a possible reboot.
+;
+; IN (data+0) is a declared input location — the external world advances it
+; while the device is dark. The program samples it twice with a spin loop in
+; between; wncheck -crash -input data+0..+4 flags the second read (WN105).
+; Dynamically the hazard is a memory-CONSISTENCY violation, not a WAR: a
+; failure between the two reads leaves OUT1 from the old world and OUT2 from
+; the new one — a final state matching NO single uninterrupted execution.
+; CrossValidate's multi-world oracle (InputWords advanced on every kill,
+; final state compared against each world's golden run) witnesses it under
+; NVP, which resumes in place: OUT1 keeps the old sample while the second
+; read sees the new world. Checkpointing runtimes replay from before the
+; first read here (the window is shorter than any watchdog), which re-samples
+; both reads consistently; the single-world injector cannot see it at all.
+; Golden result (world 0, IN=0): OUT1 (data+4) = 0, OUT2 (data+8) = 0.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	LDR R1, [R0, #0]     ; first sample of IN
+	STR R1, [R0, #4]     ; OUT1
+	MOVI R3, #100
+spin:
+	SUBIS R3, R3, #1
+	BNE spin             ; window in which the world can move on
+	LDR R2, [R0, #0]     ; WN105: second sample of the same input word
+	STR R2, [R0, #8]     ; OUT2
+	HALT

@@ -1,0 +1,17 @@
+; Seeded hazard: a non-idempotent NV read-modify-write with no privatization.
+;
+; COUNT (data+0) is incremented in place: the stored value derives from the
+; loaded word, so replaying the sequence double-counts. wncheck -crash flags
+; the store (WN108) by value provenance — the store's register traces back
+; to the load of the same word. Like WN106, the certified runtimes all
+; repair the hazard dynamically; the NAIVE runtime witnesses it: a failure
+; after the STR replays from the attach-time checkpoint, re-reads COUNT=1,
+; and commits 2.
+; Golden result: COUNT (data+0) = 1.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	LDR R1, [R0, #0]     ; read COUNT
+	ADDI R1, R1, #1
+	STR R1, [R0, #0]     ; WN108: store derives from the loaded word
+	HALT

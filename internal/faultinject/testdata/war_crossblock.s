@@ -1,0 +1,25 @@
+; Seeded hazard: a write-after-read at a symbolic address, crossing block
+; boundaries, on an amenable path.
+;
+; The element index is loaded from memory, so the constant propagator cannot
+; resolve the address of the LDRX/STRX pair; only the WN106 chain-follower
+; sees that both sides use the congruent expression [R0, R9] with neither
+; base nor index redefined in between. The path crosses the branch at the
+; amenable instruction, so the finding is tainted (Error).
+;
+; Dynamically the hazard needs the NAIVE runtime: Clank checkpoints ahead of
+; the violating store, NVP never re-executes, and the undo log rolls the
+; store back, so all three repair it. Naive replays from the attach-time
+; checkpoint: a failure after the STRX re-runs the LDRX against the
+; overwritten element and commits X+10 instead of X+5.
+; Golden result: data+20 = 5.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+	LDR R9, [R0, #16]    ; element index from memory (0): statically unknown
+	ADDI R9, R9, #20     ; byte offset of the element
+	LDRX R2, [R0, R9]    ; read element X
+	.amenable
+	ADDI R2, R2, #5      ; anytime work on the sample
+	STRX R2, [R0, R9]    ; WN106: overwrites the word the LDRX read
+	HALT

@@ -44,8 +44,27 @@ type dfState struct {
 	// checkpoint — persists SRAM, so a stored volatile word stays
 	// vulnerable until the program halts. nil unless Options.Crash.
 	sramStores map[uint32]int
+	// inputReads maps word-aligned input-location addresses to the earliest
+	// read site. Never cleared — not even by a skim point: the external
+	// world advances across reboots regardless of commit boundaries, so a
+	// sampled input stays repeated-read-hazardous until the program halts.
+	// nil unless Options.Crash and Options.Input are both set.
+	inputReads map[uint32]int
+	// prov tracks, per register, the non-volatile word the register's value
+	// was loaded (or derived) from, for the read-modify-write rule (WN108).
+	// Cleared at skim points: a commit boundary ends the re-execution
+	// interval the rule reasons about. Only maintained under Options.Crash.
+	prov [isa.NumRegs]provVal
 	// valid marks states that have been reached at least once.
 	valid bool
+}
+
+// provVal is the value-provenance lattice for one register: unknown, or
+// "derived from the NV word at word, first loaded at loadIdx".
+type provVal struct {
+	word    uint32
+	loadIdx int
+	known   bool
 }
 
 func newEntryState(cfg mem.Config) dfState {
@@ -73,6 +92,12 @@ func (s *dfState) clone() dfState {
 		out.sramStores = make(map[uint32]int, len(s.sramStores))
 		for k, v := range s.sramStores {
 			out.sramStores[k] = v
+		}
+	}
+	if s.inputReads != nil {
+		out.inputReads = make(map[uint32]int, len(s.inputReads))
+		for k, v := range s.inputReads {
+			out.inputReads[k] = v
 		}
 	}
 	return out
@@ -126,6 +151,30 @@ func (s *dfState) merge(o *dfState) bool {
 		cur, ok := s.sramStores[a]
 		if !ok || oi < cur {
 			s.sramStores[a] = oi
+			changed = true
+		}
+	}
+	for a, oi := range o.inputReads {
+		if s.inputReads == nil {
+			s.inputReads = map[uint32]int{}
+		}
+		cur, ok := s.inputReads[a]
+		if !ok || oi < cur {
+			s.inputReads[a] = oi
+			changed = true
+		}
+	}
+	for r := range s.prov {
+		p, q := s.prov[r], o.prov[r]
+		if !p.known {
+			continue
+		}
+		switch {
+		case !q.known || q.word != p.word:
+			s.prov[r] = provVal{}
+			changed = true
+		case q.loadIdx < p.loadIdx:
+			s.prov[r].loadIdx = q.loadIdx
 			changed = true
 		}
 	}
@@ -219,8 +268,10 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 
 	// Memory effects come first: loads and stores read their operands
 	// before the destination register changes.
+	memAddr, memOK := uint32(0), false
 	if op.IsLoad() || op.IsStore() {
 		if addr, ok := s.effAddr(in); ok {
+			memAddr, memOK = addr, true
 			size := accessSize(op)
 			dataEnd := uint32(mem.DataBase) + uint32(c.opts.Mem.DataBytes)
 			inData := addr >= mem.DataBase && addr < dataEnd
@@ -241,6 +292,11 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 						if ri, ok := s.reads[w]; ok {
 							c.reportWAR(idx, ri, w)
 						}
+						if c.opts.Crash {
+							if p := s.prov[in.Rd]; p.known && p.word == w {
+								c.reportRMW(idx, p, w)
+							}
+						}
 					}
 				}
 				for w := first; w <= last; w += 4 {
@@ -249,7 +305,15 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 			}
 			if c.opts.Crash {
 				c.stepCrash(s, idx, in, addr, size, check)
+				if op.IsLoad() && len(c.opts.Input) > 0 {
+					c.stepInput(s, idx, addr, size, check)
+				}
 			}
+		} else if check && c.opts.Crash && op.IsLoad() {
+			// The address is statically unknown: constant propagation
+			// cannot feed the WN101/WN102 WAR tracking, so follow the
+			// read→write chain symbolically instead (WN106).
+			c.warCrossFrom(idx)
 		}
 	}
 
@@ -299,6 +363,10 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 		s.regs[in.Rd] = c.evalALU(s, in)
 	}
 
+	if c.opts.Crash {
+		c.stepProv(s, in, idx, memAddr, memOK)
+	}
+
 	if ins.amen {
 		s.amen = true
 		// Anytime work consumed the outstanding reads: overwriting any of
@@ -309,6 +377,49 @@ func (c *checker) step(s *dfState, idx int, check bool) {
 				s.reads[w] = ri
 			}
 		}
+	}
+}
+
+// stepProv advances the per-register value-provenance used by the
+// read-modify-write rule (WN108). A load from a known non-volatile data word
+// tags the destination with that word; MOV and ALU results inherit the tag
+// from any tagged source operand; everything else clears it. A skim point
+// clears all tags — the commit boundary ends the re-execution interval the
+// rule reasons about — and a call clears them because the callee's effects
+// are unmodeled.
+func (c *checker) stepProv(s *dfState, in isa.Instruction, idx int, memAddr uint32, memOK bool) {
+	op := in.Op
+	switch {
+	case op == isa.OpBl:
+		for r := range s.prov {
+			s.prov[r] = provVal{}
+		}
+	case op == isa.OpSkm:
+		for r := range s.prov {
+			s.prov[r] = provVal{}
+		}
+	case op.IsLoad():
+		s.prov[in.Rd] = provVal{}
+		if memOK && locClassOf(memAddr, c.opts.Mem, c.opts.Input) == ClassNV {
+			s.prov[in.Rd] = provVal{word: memAddr &^ 3, loadIdx: idx, known: true}
+		}
+	case op == isa.OpMov:
+		s.prov[in.Rd] = s.prov[in.Rm]
+	default:
+		d, ok := defOf(in)
+		if !ok {
+			return
+		}
+		next := provVal{}
+		if op != isa.OpMovI && op != isa.OpMovTI {
+			for _, u := range usesOf(in) {
+				if p := s.prov[u]; p.known {
+					next = p
+					break
+				}
+			}
+		}
+		s.prov[d] = next
 	}
 }
 

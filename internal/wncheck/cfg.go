@@ -1,6 +1,8 @@
 package wncheck
 
 import (
+	"sort"
+
 	"whatsnext/internal/asm"
 	"whatsnext/internal/isa"
 	"whatsnext/internal/mem"
@@ -30,6 +32,7 @@ type checker struct {
 	prog     *asm.Program
 	opts     Options
 	disabled map[string]bool
+	only     map[string]bool
 
 	ins      []instr
 	blocks   []*block
@@ -251,8 +254,12 @@ func (c *checker) findLoops() {
 		for id := range body {
 			l.blocks = append(l.blocks, id)
 		}
+		sort.Ints(l.blocks)
 		c.loops = append(c.loops, l)
 	}
+	// heads is a map: fix the loop order (and with it downstream diagnostic
+	// order) independent of map iteration.
+	sort.Slice(c.loops, func(i, j int) bool { return c.loops[i].head < c.loops[j].head })
 	c.numLoops = len(c.loops)
 }
 

@@ -1,0 +1,366 @@
+package wncheck_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/mem"
+	"whatsnext/internal/wncheck"
+)
+
+func verify(t *testing.T, src string, opts wncheck.Options) (*wncheck.Result, *wncheck.Certificate) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, cert, err := wncheck.Verify(p, opts)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return res, cert
+}
+
+func findCode(res *wncheck.Result, code string) *wncheck.Diagnostic {
+	for i, d := range res.Diags {
+		if d.Code == code {
+			return &res.Diags[i]
+		}
+	}
+	return nil
+}
+
+// WN105 fires only when input ranges are declared, and only on the second
+// read of the same input word across a possible boundary.
+func TestRepeatedInputRule(t *testing.T) {
+	src := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	STR R1, [R0, #4]
+	LDR R2, [R0, #0]
+	STR R2, [R0, #8]
+	HALT
+`
+	input := []wncheck.AddrRange{{Start: mem.DataBase, End: mem.DataBase + 4}}
+	res := check(t, src, wncheck.Options{Crash: true, Input: input})
+	d := findCode(res, wncheck.CodeRepeatedInput)
+	if d == nil {
+		t.Fatalf("want WN105, got %v", codes(res))
+	}
+	if d.Severity != wncheck.Error {
+		t.Errorf("WN105 severity = %v, want error", d.Severity)
+	}
+	// The region spans first read (instruction 2, addr 0x8) to second
+	// (instruction 4, addr 0x10).
+	if d.RegionStart != 0x8 || d.RegionEnd != 0x10 {
+		t.Errorf("WN105 region = [%#x, %#x], want [0x8, 0x10]", d.RegionStart, d.RegionEnd)
+	}
+
+	if res := check(t, src, wncheck.Options{Crash: true}); hasCode(res, wncheck.CodeRepeatedInput) {
+		t.Errorf("WN105 without declared inputs: want none, got %v", codes(res))
+	}
+	single := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	STR R1, [R0, #4]
+	STR R1, [R0, #8]
+	HALT
+`
+	if res := check(t, single, wncheck.Options{Crash: true, Input: input}); hasCode(res, wncheck.CodeRepeatedInput) {
+		t.Errorf("single input read: want no WN105, got %v", codes(res))
+	}
+}
+
+// WN106 follows the congruent-address chain the constant propagator cannot
+// resolve: tainted paths are errors, untainted info, and any redefinition of
+// the address registers breaks the chain.
+func TestWARCrossRule(t *testing.T) {
+	tainted := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R9, [R0, #16]
+	LDRX R2, [R0, R9]
+	.amenable
+	ADDI R2, R2, #5
+	STRX R2, [R0, R9]
+	HALT
+`
+	res := check(t, tainted, wncheck.Options{Crash: true})
+	d := findCode(res, wncheck.CodeWARCross)
+	if d == nil {
+		t.Fatalf("want WN106, got %v", codes(res))
+	}
+	if d.Severity != wncheck.Error {
+		t.Errorf("tainted WN106 severity = %v, want error", d.Severity)
+	}
+	// Region spans the LDRX (instruction 3, addr 0xc) to the STRX
+	// (instruction 5, addr 0x14).
+	if d.RegionStart != 0xc || d.RegionEnd != 0x14 {
+		t.Errorf("WN106 region = [%#x, %#x], want [0xc, 0x14]", d.RegionStart, d.RegionEnd)
+	}
+
+	plain := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R9, [R0, #16]
+	LDRX R2, [R0, R9]
+	ADDI R2, R2, #5
+	STRX R2, [R0, R9]
+	HALT
+`
+	res = check(t, plain, wncheck.Options{Crash: true, Info: true})
+	if d := findCode(res, wncheck.CodeWARCross); d == nil {
+		t.Fatalf("untainted congruent WAR: want WN106 info, got %v", codes(res))
+	} else if d.Severity != wncheck.Info {
+		t.Errorf("untainted WN106 severity = %v, want info", d.Severity)
+	}
+
+	broken := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R9, [R0, #16]
+	LDRX R2, [R0, R9]
+	ADDI R9, R9, #4
+	ADDI R2, R2, #5
+	STRX R2, [R0, R9]
+	HALT
+`
+	if res := check(t, broken, wncheck.Options{Crash: true, Info: true}); hasCode(res, wncheck.CodeWARCross) {
+		t.Errorf("index redefined between load and store: want no WN106, got %v", codes(res))
+	}
+}
+
+// WN107 intersects the armed interval's NV persists with the skim target's
+// NV observes.
+func TestCommitOrderRule(t *testing.T) {
+	hazard := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R4, #5
+	SKM commit
+	STR R4, [R0, #0]
+commit:
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	STR R1, [R0, #12]
+	HALT
+`
+	res := check(t, hazard, wncheck.Options{Crash: true})
+	d := findCode(res, wncheck.CodeCommitOrder)
+	if d == nil {
+		t.Fatalf("want WN107, got %v", codes(res))
+	}
+	if d.Severity != wncheck.Error {
+		t.Errorf("WN107 severity = %v, want error", d.Severity)
+	}
+	// Region spans the SKM (instruction 3, addr 0xc) to the target
+	// (instruction 5, addr 0x14).
+	if d.RegionStart != 0xc || d.RegionEnd != 0x14 {
+		t.Errorf("WN107 region = [%#x, %#x], want [0xc, 0x14]", d.RegionStart, d.RegionEnd)
+	}
+
+	clean := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	MOVI R4, #5
+	SKM commit
+	STR R4, [R0, #8]
+commit:
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	STR R1, [R0, #12]
+	HALT
+`
+	if res := check(t, clean, wncheck.Options{Crash: true}); hasCode(res, wncheck.CodeCommitOrder) {
+		t.Errorf("store not observed at target: want no WN107, got %v", codes(res))
+	}
+}
+
+// WN108 needs the stored register's value to PROVABLY derive from a load of
+// the same word; storing elsewhere, or storing a fresh value, is clean.
+func TestNonIdempotentRule(t *testing.T) {
+	rmw := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	ADDI R1, R1, #1
+	STR R1, [R0, #0]
+	HALT
+`
+	res := check(t, rmw, wncheck.Options{Crash: true})
+	d := findCode(res, wncheck.CodeNonIdempotent)
+	if d == nil {
+		t.Fatalf("want WN108, got %v", codes(res))
+	}
+	if d.Severity != wncheck.Warning {
+		t.Errorf("WN108 severity = %v, want warning", d.Severity)
+	}
+	if d.RegionStart != 0x8 || d.RegionEnd != 0x10 {
+		t.Errorf("WN108 region = [%#x, %#x], want [0x8, 0x10]", d.RegionStart, d.RegionEnd)
+	}
+
+	privatized := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	ADDI R1, R1, #1
+	STR R1, [R0, #4]
+	HALT
+`
+	if res := check(t, privatized, wncheck.Options{Crash: true}); hasCode(res, wncheck.CodeNonIdempotent) {
+		t.Errorf("store to a different word: want no WN108, got %v", codes(res))
+	}
+	fresh := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	MOVI R1, #7
+	STR R1, [R0, #0]
+	HALT
+`
+	if res := check(t, fresh, wncheck.Options{Crash: true}); hasCode(res, wncheck.CodeNonIdempotent) {
+		t.Errorf("stored value does not derive from the load: want no WN108, got %v", codes(res))
+	}
+}
+
+// Options.Only restricts region-carrying diagnostics to the listed codes.
+func TestOnlyFilter(t *testing.T) {
+	src := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	ADDI R1, R1, #1
+	STR R1, [R0, #0]
+	LDR R9, [R0, #16]
+	LDRX R2, [R0, R9]
+	.amenable
+	ADDI R2, R2, #5
+	STRX R2, [R0, R9]
+	HALT
+`
+	res := check(t, src, wncheck.Options{Crash: true, Only: []string{wncheck.CodeWARCross}})
+	if !hasCode(res, wncheck.CodeWARCross) {
+		t.Fatalf("want WN106 under Only, got %v", codes(res))
+	}
+	if hasCode(res, wncheck.CodeNonIdempotent) {
+		t.Errorf("Only=[WN106]: want WN108 suppressed, got %v", codes(res))
+	}
+}
+
+// The certificate must round-trip through Encode/Decode byte-stably, and
+// two independent Verify runs over the same source must produce identical
+// bytes — the determinism contract CI and the cross-validator rely on.
+func TestCertificateByteStable(t *testing.T) {
+	src := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	ADDI R1, R1, #1
+	STR R1, [R0, #0]
+	LDR R9, [R0, #16]
+	LDRX R2, [R0, R9]
+	.amenable
+	ADDI R2, R2, #5
+	STRX R2, [R0, R9]
+	HALT
+`
+	opts := wncheck.Options{Crash: true, Input: []wncheck.AddrRange{{Start: mem.DataBase + 16, End: mem.DataBase + 20}}}
+	_, cert1 := verify(t, src, opts)
+	_, cert2 := verify(t, src, opts)
+	b1, err := cert1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := cert2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two Verify runs differ:\n%s\n----\n%s", b1, b2)
+	}
+
+	dec, err := wncheck.DecodeCertificate(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatalf("certificate does not round-trip byte-stably:\n%s\n----\n%s", b1, b3)
+	}
+
+	if len(cert1.Flagged) == 0 {
+		t.Fatal("expected flagged regions in the certificate")
+	}
+	if len(cert1.Proven) == 0 {
+		t.Fatal("expected proven regions in the certificate")
+	}
+}
+
+// Diagnostics come out sorted by (address, code): the determinism the
+// double-run JSON diff in CI depends on.
+func TestDiagnosticsSorted(t *testing.T) {
+	src := `
+	MOVI R0, #0
+	MOVTI R0, #4096
+	LDR R1, [R0, #0]
+	ADDI R1, R1, #1
+	STR R1, [R0, #0]
+	LDR R9, [R0, #16]
+	LDRX R2, [R0, R9]
+	.amenable
+	ADDI R2, R2, #5
+	STRX R2, [R0, R9]
+	HALT
+`
+	res := check(t, src, wncheck.Options{Crash: true, Info: true})
+	if len(res.Diags) < 2 {
+		t.Fatalf("want several diagnostics, got %v", codes(res))
+	}
+	ordered := sort.SliceIsSorted(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Code < b.Code
+	})
+	if !ordered {
+		t.Errorf("diagnostics not sorted by (addr, code): %v", codes(res))
+	}
+}
+
+// Every diagnostic code the checker can emit has exactly one entry in the
+// rule table, and the WN10x family all map to a formal condition.
+func TestRuleTableComplete(t *testing.T) {
+	seen := map[string]int{}
+	for _, r := range wncheck.Rules() {
+		seen[r.Code]++
+		if r.Code < "WN200" && r.Condition == wncheck.CondEngineering {
+			t.Errorf("%s is a crash-consistency rule but maps to %q", r.Code, r.Condition)
+		}
+	}
+	for code, n := range seen {
+		if n != 1 {
+			t.Errorf("%s appears %d times in the rule table", code, n)
+		}
+	}
+	for _, code := range []string{
+		wncheck.CodeRepeatedInput, wncheck.CodeWARCross,
+		wncheck.CodeCommitOrder, wncheck.CodeNonIdempotent,
+	} {
+		if seen[code] != 1 {
+			t.Errorf("new rule %s missing from the rule table", code)
+		}
+		if c := wncheck.ConditionOf(code); c == wncheck.CondEngineering || c == "" {
+			t.Errorf("ConditionOf(%s) = %q, want a formal condition", code, c)
+		}
+	}
+}

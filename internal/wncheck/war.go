@@ -1,0 +1,138 @@
+package wncheck
+
+import (
+	"fmt"
+
+	"whatsnext/internal/isa"
+)
+
+// WN106: cross-checkpoint WAR at a congruent symbolic address — the
+// reaching-definitions generalization of the WN101/WN102 region scan.
+//
+// The WN101/WN102 tracking keys the read-first set by statically-known
+// effective addresses, so a WAR through an address that constant
+// propagation cannot resolve (a base register loaded from memory, a
+// data-dependent index) is invisible to it. This pass covers that hole
+// symbolically: from each load whose effective address is unknown, follow
+// every CFG path forward looking for a store through the *same address
+// expression* — same base register, same index register or immediate —
+// with neither register redefined in between. Under those conditions the
+// two effective addresses are provably equal whatever they are, so the
+// pair is a WAR on the same (unknown) location: the formal war-atomicity
+// condition, free of the constant-address restriction.
+//
+// A path ends at a skim point (commit boundary: re-execution resumes past
+// it), at a matching store (the write kills the read), at a redefinition of
+// the base or index register (congruence lost), at a call (the callee may
+// clobber anything), and at HALT/BX/illegal words. Amenable instructions on
+// the path taint the pair exactly as in WN101: replaying anytime work on
+// the overwritten value is not repairable by a checkpoint (error), while an
+// untainted pair is repaired by Clank's forced checkpoint at a cost
+// (info, the WN102 analogue).
+
+// warCrossFrom follows read→write chains from the unknown-address load at
+// loadIdx. Called from the checked forward replay, so each reachable load
+// is analyzed exactly once.
+func (c *checker) warCrossFrom(loadIdx int) {
+	load := c.ins[loadIdx].in
+	base := load.Rn
+	hasRm := load.Op.HasRm()
+	idxReg := load.Rm
+
+	storeMatches := func(in isa.Instruction) bool {
+		if !in.Op.IsStore() || in.Op.HasRm() != hasRm || in.Rn != base {
+			return false
+		}
+		if hasRm {
+			return in.Rm == idxReg
+		}
+		return in.Imm == load.Imm
+	}
+	clobbersAddr := func(in isa.Instruction) bool {
+		if in.Op == isa.OpBl {
+			return true
+		}
+		d, ok := defOf(in)
+		if !ok {
+			return false
+		}
+		return d == base || (hasRm && d == idxReg)
+	}
+
+	type node struct {
+		idx   int
+		taint bool
+	}
+	var visited [2][]bool
+	visited[0] = make([]bool, len(c.ins))
+	visited[1] = make([]bool, len(c.ins))
+	stack := []node{{loadIdx + 1, false}}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i, taint := n.idx, n.taint
+		if i >= len(c.ins) {
+			continue
+		}
+		ti := 0
+		if taint {
+			ti = 1
+		}
+		if visited[ti][i] {
+			continue
+		}
+		visited[ti][i] = true
+
+		ins := c.ins[i]
+		if !ins.ok {
+			continue
+		}
+		op := ins.in.Op
+		if op == isa.OpSkm || op == isa.OpHalt {
+			continue
+		}
+		if ins.amen {
+			taint = true
+		}
+		if storeMatches(ins.in) {
+			c.reportWARCross(loadIdx, i, taint)
+			continue // the store kills the read along this path
+		}
+		if clobbersAddr(ins.in) {
+			continue
+		}
+
+		b := c.blocks[c.blockOf[i]]
+		if i == b.end-1 {
+			for _, succ := range b.succs {
+				stack = append(stack, node{c.blocks[succ].start, taint})
+			}
+		} else {
+			stack = append(stack, node{i + 1, taint})
+		}
+	}
+}
+
+// addrExpr renders the shared address expression of a WN106 pair.
+func (c *checker) addrExpr(loadIdx int) string {
+	in := c.ins[loadIdx].in
+	if in.Op.HasRm() {
+		return fmt.Sprintf("[%s, %s]", in.Rn, in.Rm)
+	}
+	return fmt.Sprintf("[%s, #%d]", in.Rn, in.Imm)
+}
+
+func (c *checker) reportWARCross(loadIdx, storeIdx int, taint bool) {
+	rs, re := c.ins[loadIdx].addr, c.ins[storeIdx].addr
+	if re < rs {
+		rs, re = re, rs
+	}
+	expr := c.addrExpr(loadIdx)
+	if taint {
+		c.reportRegion(CodeWARCross, Error, storeIdx, rs, re,
+			"non-volatile location %s is read (%s), consumed by anytime work, and overwritten through the same address expression with no skim point or redefinition of the address registers in between; the addresses are equal whatever they resolve to, so replaying the interval after a power failure re-runs the anytime work on the overwritten value", expr, c.siteRef(loadIdx))
+	} else {
+		c.reportRegion(CodeWARCross, Info, storeIdx, rs, re,
+			"non-volatile location %s is read (%s) and overwritten through the same address expression with no skim point in between; the addresses are equal whatever they resolve to — the same WAR the Clank runtime repairs with a forced checkpoint, at an address constant propagation cannot see", expr, c.siteRef(loadIdx))
+	}
+}

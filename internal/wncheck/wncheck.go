@@ -37,6 +37,35 @@
 //	       with checkpoint-time (Clank, undo log) or interruption-time
 //	       (NVP) register values, not the fall-through values, so the
 //	       committed result differs from any uninterrupted execution.
+//	WN105  Repeated input operation (crash analysis, requires declared
+//	       Options.Input ranges): an input (sensor/IO) location is read
+//	       on both sides of a possible power failure. The external world
+//	       advances across the reboot, so re-execution observes a
+//	       different sample than the first run did; if both samples flow
+//	       into non-volatile results, the final state is consistent with
+//	       no single uninterrupted execution.
+//	WN106  Cross-checkpoint WAR at a congruent symbolic address (crash
+//	       analysis): the reaching-defs generalization of WN101/WN102.
+//	       A load whose effective address is not statically known is
+//	       followed — possibly across basic-block boundaries — by a
+//	       store through the same base/index registers and offset with
+//	       neither register redefined on the path and no skim point in
+//	       between: the same WAR hazard as WN101/WN102, at an address
+//	       constant propagation cannot see.
+//	WN107  Commit-ordering violation (crash analysis): a non-volatile
+//	       word is written while a skim point is armed and read on the
+//	       path from the skim target. The write is ordered after the
+//	       commit point in program terms, but an outage inside the armed
+//	       interval makes the resume path observe the partially-executed
+//	       interval's value (or the pre-interval value), inverting the
+//	       visible order relative to the commit.
+//	WN108  Non-idempotent re-execution (crash analysis, warning): a
+//	       non-volatile word is stored with a value derived from a load
+//	       of the same word (read-modify-write without privatization).
+//	       Re-executing the interval double-applies the update under any
+//	       runtime that replays without WAR detection; Clank repairs it
+//	       with a forced checkpoint and the undo log by rollback, both
+//	       at a cost.
 //	WN201  A loop containing amenable instructions has no skim point armed
 //	       on entry and none reachable from the loop.
 //	WN202  A skim point that is not reachable from any amenable
@@ -112,6 +141,10 @@ const (
 	CodeWARPlain      = "WN102" // WAR handled by a forced Clank checkpoint
 	CodeVolatileCross = "WN103" // volatile SRAM value crossing a possible power failure
 	CodeSkimStaleReg  = "WN104" // stale register live at a skim-resume target
+	CodeRepeatedInput = "WN105" // input location read on both sides of a possible reboot
+	CodeWARCross      = "WN106" // cross-block WAR at a congruent symbolic address
+	CodeCommitOrder   = "WN107" // NV write inside an armed skim interval observed at the target
+	CodeNonIdempotent = "WN108" // NV read-modify-write without privatization
 	CodeSkimMissing   = "WN201" // amenable loop with no skim coverage
 	CodeSkimOrphan    = "WN202" // skim point no anytime work reaches
 	CodeSkimTarget    = "WN203" // invalid skim target
@@ -201,14 +234,20 @@ type Options struct {
 	Skim SkimPolicy
 	// Info includes the info-severity dataflow findings (WN901, WN902).
 	Info bool
-	// Crash enables the crash-consistency analysis (WN103, WN104): state
+	// Crash enables the crash-consistency analysis (WN103–WN108): state
 	// that a power failure at an arbitrary instruction boundary would
 	// corrupt under the intermittent runtimes. Off by default because raw
 	// single-run programs need not be outage-safe; the compiler's post-emit
 	// hook and wnlint -crash turn it on.
 	Crash bool
+	// Input declares input (sensor/IO) address ranges for the repeated-
+	// input rule (WN105). Empty means no input locations: the rule is
+	// vacuously satisfied.
+	Input []AddrRange
 	// Disable suppresses the listed diagnostic codes.
 	Disable []string
+	// Only, when non-empty, restricts reporting to the listed codes.
+	Only []string
 }
 
 // Result is the outcome of a verification run.
@@ -262,10 +301,14 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 		prog:     p,
 		opts:     opts,
 		disabled: make(map[string]bool, len(opts.Disable)),
+		only:     make(map[string]bool, len(opts.Only)),
 		seen:     make(map[diagKey]int),
 	}
 	for _, code := range opts.Disable {
 		c.disabled[code] = true
+	}
+	for _, code := range opts.Only {
+		c.only[code] = true
 	}
 
 	c.decode()
@@ -273,11 +316,12 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 	c.markReachable()
 	c.findLoops()
 
-	c.runForward()  // constants, read sets, skim arming + WN1xx/2xx/3xx/4xx
-	c.checkBlocks() // unreachable code, fall-off-the-end, loop coverage
-	c.runCrash()    // WN104 (WN103 piggybacks on the forward pass)
-	c.runLiveness() // WN901
-	c.runReaching() // WN902
+	c.runForward()     // constants, read sets, skim arming + WN1xx/2xx/3xx/4xx
+	c.checkBlocks()    // unreachable code, fall-off-the-end, loop coverage
+	c.runCrash()       // WN104 (WN103/WN105/WN106/WN108 piggyback on the forward pass)
+	c.runCommitOrder() // WN107
+	c.runLiveness()    // WN901
+	c.runReaching()    // WN902
 
 	res := &Result{
 		Diags:           c.diags,
@@ -290,9 +334,12 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 			res.UnreachableIns += b.end - b.start
 		}
 	}
+	// Sort by (Addr, Code): the anchor address is derived from the index, so
+	// this is a total, run-independent order — together with the (code,
+	// instruction) dedup in report it makes encoded output byte-stable.
 	sort.SliceStable(res.Diags, func(i, j int) bool {
-		if res.Diags[i].Index != res.Diags[j].Index {
-			return res.Diags[i].Index < res.Diags[j].Index
+		if res.Diags[i].Addr != res.Diags[j].Addr {
+			return res.Diags[i].Addr < res.Diags[j].Addr
 		}
 		return res.Diags[i].Code < res.Diags[j].Code
 	})
@@ -315,6 +362,9 @@ func (c *checker) report(code string, sev Severity, idx int, format string, args
 // crash-consistency findings.
 func (c *checker) reportRegion(code string, sev Severity, idx int, regionStart, regionEnd uint32, format string, args ...any) {
 	if c.disabled[code] {
+		return
+	}
+	if len(c.only) > 0 && !c.only[code] {
 		return
 	}
 	if sev == Info && !c.opts.Info {

@@ -18,12 +18,25 @@ echo "faultinject-smoke: certifying shipped programs (-crash)"
 go run ./cmd/wnlint -crash $(git ls-files '*.s' ':!internal/wncheck/testdata/' ':!internal/faultinject/testdata/')
 
 echo "faultinject-smoke: seeded hazards must be flagged AND witnessed"
+# repeated_input.s needs its input location declared: WN105 checks the
+# program against a world model, and without -input the rule is vacuous
+# (the single-world injector cannot see the hazard either — only the
+# multi-world CrossValidate oracle in the Go tests witnesses it).
 for f in internal/faultinject/testdata/*.s; do
-    if go run ./cmd/wnlint -crash -faults 24 "$f" >/dev/null 2>&1; then
+    flags=(-crash -faults 24)
+    case "$f" in
+        */repeated_input.s) flags=(-crash -input 0x10000000:0x10000004) ;;
+    esac
+    if go run ./cmd/wnlint "${flags[@]}" "$f" >/dev/null 2>&1; then
         echo "faultinject-smoke: $f was expected to fail the crash checks"
         exit 1
     fi
 done
+
+echo "faultinject-smoke: certificates must round-trip byte-stably"
+go run ./cmd/wnlint -crash -cert internal/asm/testdata/dotprod.s > /tmp/wn-cert-a.json 2>/dev/null
+go run ./cmd/wnlint -crash -cert internal/asm/testdata/dotprod.s > /tmp/wn-cert-b.json 2>/dev/null
+cmp /tmp/wn-cert-a.json /tmp/wn-cert-b.json
 
 echo "faultinject-smoke: strided injection over Conv2d + Home (clank, nvp)"
 go run ./cmd/wnbench -exp faults -faultbench Conv2d,Home -faultpoints 8
