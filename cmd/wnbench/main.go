@@ -22,6 +22,7 @@
 // Usage:
 //
 //	wnbench [-exp all|list|table1|fig1|...|areapower]
+//	        [-backend super|batch|ref]
 //	        [-full] [-traces N] [-invocations N] [-out DIR] [-samples N]
 //	        [-parallel N] [-cache DIR] [-progress] [-remote URL] [-remote-retries N]
 //	        [-faultpoints N] [-faultbench A,B] [-cpuprofile FILE] [-memprofile FILE]
@@ -102,6 +103,7 @@ func realMain() int {
 		progress      = flag.Bool("progress", false, "render live sweep progress on stderr")
 		remote        = flag.String("remote", "", "run sweeps on a wnserved or wncluster instance at this base URL")
 		remoteRetries = flag.Int("remote-retries", 3, "retry budget per remote submission/stream (429 and transient failures)")
+		backend       = flag.String("backend", "super", "execution engine: super (translated), batch (interpreter), ref (per-instruction)")
 		faultPoints   = flag.Int("faultpoints", 32, "kill points per fault-injection cell (-exp faults)")
 		faultBench    = flag.String("faultbench", "", "comma-separated benchmark filter for -exp faults (default: all)")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -135,6 +137,13 @@ func realMain() int {
 				fmt.Fprintln(os.Stderr, "wnbench:", err)
 			}
 		}()
+	}
+
+	if b, err := experiments.ParseBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "wnbench:", err)
+		return 2
+	} else {
+		experiments.SetExecBackend(b)
 	}
 
 	if *exp == "list" {

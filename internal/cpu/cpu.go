@@ -69,8 +69,23 @@ type CPU struct {
 	// instruction instead of a map probe.
 	amenable []uint64
 
+	// Backend selects the batched executor Run dispatches to. The zero
+	// value is BackendSuper: translated superblocks with deopt to the
+	// per-instruction path. BackendBatch forces the PR 3 interpreter.
+	Backend Backend
+
 	decodeCache []decoded     // lazily built per program image
 	decodeErrs  map[int]error // slot -> original isa.Decode failure
+	trans       *translation  // lazily built superblock translation
+	sbErr       error         // fault raised inside a superblock closure
+	sbAdj       uint64        // memo fast-hit cycle discount within one block
+	// Deferred superblock accounting: sbRuns[slot] counts completed
+	// executions of the block starting at slot within the current window;
+	// sbDirty lists the touched slots. Both flush into Stats at every
+	// window exit, so per-block bookkeeping inside the hot loop is O(1).
+	// Per-CPU (not on the shared translation) so forked cores never race.
+	sbRuns  []uint64
+	sbDirty []uint32
 }
 
 // decoded is one predecoded instruction slot: the decoded form plus its
@@ -131,11 +146,13 @@ func (c *CPU) PowerLoss() {
 	}
 }
 
-// InvalidateDecodeCache drops the cached decode of code memory. Call after
-// loading a new program image.
+// InvalidateDecodeCache drops the cached decode of code memory (and with it
+// the superblock translation, which is derived from it). Call after loading
+// a new program image.
 func (c *CPU) InvalidateDecodeCache() {
 	c.decodeCache = nil
 	c.decodeErrs = nil
+	c.trans = nil
 }
 
 // SetAmenablePCs installs the instruction addresses the WN compiler marked
@@ -159,6 +176,8 @@ func (c *CPU) SetAmenablePCs(pcs []uint32) {
 	for i := range c.decodeCache {
 		c.decodeCache[i].amen = c.amenableAt(mem.CodeBase + uint32(i*isa.InstBytes))
 	}
+	// Superblock aggregates bake the amenable counts in; rebuild lazily.
+	c.trans = nil
 }
 
 // amenableAt reports whether pc carries the compiler's amenable mark. The

@@ -81,6 +81,34 @@ func BenchmarkMemoLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkSuperLoop measures the superblock translation backend over the
+// same program as BenchmarkStepLoop: fused closures with zero per-instruction
+// dispatch, deoptimizing to RunUntil only at block boundaries it cannot fuse.
+func BenchmarkSuperLoop(b *testing.B) {
+	p, err := asm.Assemble(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mem.New(mem.DefaultConfig())
+	if err := m.LoadProgram(p.Image); err != nil {
+		b.Fatal(err)
+	}
+	c := New(m)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		for !c.Halted {
+			res, err := c.RunSuper(1<<62, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += res.Instructions
+		}
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instructions/op")
+}
+
 // BenchmarkStepLoop measures the batched fast path over the same program as
 // BenchmarkStep: one RunUntil call per full program execution instead of a
 // Step call per instruction.

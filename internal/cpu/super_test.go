@@ -1,0 +1,575 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+	"whatsnext/internal/wncheck"
+)
+
+// runSuperWindows drives the superblock backend in windows of the given
+// budget until halt or fault, collecting the per-instruction cost stream —
+// the RunSuper counterpart of runBatched.
+func runSuperWindows(t *testing.T, c *CPU, budget uint64) (uint64, []Cost, error) {
+	t.Helper()
+	var (
+		cycles uint64
+		costs  []Cost
+	)
+	for i := 0; !c.Halted; i++ {
+		if i > 1_000_000 {
+			t.Fatal("runaway superblock program")
+		}
+		res, err := c.RunSuper(budget, &costs)
+		cycles += res.Cycles
+		if err != nil {
+			return cycles, costs, err
+		}
+	}
+	return cycles, costs, nil
+}
+
+// TestRunSuperMatchesStepAndBatch is the three-level differential for the
+// translation backend: every program runs to halt through the reference
+// Step loop, the batched interpreter, and the superblock executor at several
+// window sizes. Cycle totals, per-instruction cost streams, and all
+// architectural and statistical state must be identical across all three.
+func TestRunSuperMatchesStepAndBatch(t *testing.T) {
+	budgets := []uint64{1, 7, 64, 1 << 62}
+	for name, src := range diffPrograms {
+		for _, budget := range budgets {
+			t.Run(name, func(t *testing.T) {
+				ref, refM := device(t, src)
+				bat, batM := device(t, src)
+				sup, supM := device(t, src)
+
+				refCycles, refCosts, refErr := stepRef(t, ref)
+				batCycles, batCosts, batErr := runBatched(t, bat, budget)
+				supCycles, supCosts, supErr := runSuperWindows(t, sup, budget)
+				if refErr != nil || batErr != nil || supErr != nil {
+					t.Fatalf("unexpected faults: ref %v bat %v sup %v", refErr, batErr, supErr)
+				}
+				if refCycles != batCycles || refCycles != supCycles {
+					t.Errorf("budget %d: cycles diverge: ref %d bat %d sup %d",
+						budget, refCycles, batCycles, supCycles)
+				}
+				if !reflect.DeepEqual(refCosts, supCosts) {
+					t.Errorf("budget %d: cost streams diverge: ref %d entries sup %d entries",
+						budget, len(refCosts), len(supCosts))
+				}
+				if !reflect.DeepEqual(refCosts, batCosts) {
+					t.Errorf("budget %d: cost streams diverge: ref %d entries bat %d entries",
+						budget, len(refCosts), len(batCosts))
+				}
+				assertSameState(t, ref, bat, refM, batM)
+				assertSameState(t, ref, sup, refM, supM)
+			})
+		}
+	}
+}
+
+// TestRunSuperStoreHook pins the StopStore deopt: with a BeforeStore hook
+// installed the superblock backend must never execute an NV-data store
+// inline — it delegates to the interpreter, which stops ahead of the store
+// so the caller routes it through Step, exactly like RunUntil.
+func TestRunSuperStoreHook(t *testing.T) {
+	src := diffPrograms["mixed-loop"]
+	type storeEvt struct {
+		addr uint32
+		size int
+	}
+
+	ref, refM := device(t, src)
+	sup, supM := device(t, src)
+	var refEvts, supEvts []storeEvt
+	ref.BeforeStore = func(addr uint32, size int) {
+		refEvts = append(refEvts, storeEvt{addr, size})
+	}
+	sup.BeforeStore = func(addr uint32, size int) {
+		supEvts = append(supEvts, storeEvt{addr, size})
+	}
+
+	if _, _, err := stepRef(t, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !sup.Halted; i++ {
+		if i > 1_000_000 {
+			t.Fatal("runaway superblock program")
+		}
+		res, err := sup.RunSuper(1<<62, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason == StopStore {
+			if _, err := sup.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if len(refEvts) == 0 {
+		t.Fatal("test program never stored to NV data")
+	}
+	if !reflect.DeepEqual(refEvts, supEvts) {
+		t.Errorf("hook sequences diverge: ref %d events, sup %d events", len(refEvts), len(supEvts))
+	}
+	assertSameState(t, ref, sup, refM, supM)
+}
+
+// TestRunSuperFaultParity checks fault identity against the reference for
+// both deopt faults (undecodable slot, fall-off-end) and faults raised
+// inside a fused superblock body, where the partial-fault exit must account
+// the executed prefix exactly as the interpreter would.
+func TestRunSuperFaultParity(t *testing.T) {
+	progs := map[string]string{
+		"unmapped-load": `
+			MOVI R0, #0
+			MOVTI R0, #0x4000
+			NOP
+			LDR R1, [R0, #0]
+			HALT
+		`,
+		"fall-off-end": `
+			MOVI R0, #1
+			NOP
+		`,
+		// The faulting store sits mid-superblock behind translatable
+		// instructions, forcing the partial-fault exit path.
+		"mid-block-store-fault": `
+			MOVI R0, #0
+			MOVTI R0, #0x4000
+			MOVI R1, #7
+			ADD R2, R1, R1
+			STR R2, [R0, #8]
+			SUBIS R1, R1, #1
+			HALT
+		`,
+	}
+	for name, src := range progs {
+		t.Run(name, func(t *testing.T) {
+			ref, refM := device(t, src)
+			sup, supM := device(t, src)
+			_, _, refErr := stepRef(t, ref)
+			_, _, supErr := runSuperWindows(t, sup, 1<<62)
+			if refErr == nil || supErr == nil {
+				t.Fatalf("expected faults, got ref %v sup %v", refErr, supErr)
+			}
+			if refErr.Error() != supErr.Error() {
+				t.Errorf("fault messages diverge:\nref %v\nsup %v", refErr, supErr)
+			}
+			assertSameState(t, ref, sup, refM, supM)
+		})
+	}
+}
+
+// TestRunSuperAmenableCounting pins AmenableOps parity through superblock
+// aggregate accounting, including marks on the faulting instruction of a
+// partial block (the reference tallies the mark before executing).
+func TestRunSuperAmenableCounting(t *testing.T) {
+	src := diffPrograms["mixed-loop"]
+	marks := []uint32{mem.CodeBase + 3*isa.InstBytes, mem.CodeBase + 5*isa.InstBytes}
+	ref, refM := device(t, src)
+	sup, supM := device(t, src)
+	ref.SetAmenablePCs(marks)
+	sup.SetAmenablePCs(marks)
+	if _, _, err := stepRef(t, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runSuperWindows(t, sup, 13); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.AmenableOps == 0 {
+		t.Fatal("test program never hit an amenable PC")
+	}
+	assertSameState(t, ref, sup, refM, supM)
+}
+
+// TestRunSuperMemoParity runs a memoization-heavy multiply loop under the
+// reference and the superblock backend with memo tables installed: the
+// fast-hit cycle discount (sbAdj) must reproduce the interpreter's
+// data-dependent multiply costs exactly.
+func TestRunSuperMemoParity(t *testing.T) {
+	src := `
+		MOVI R1, #300
+		MOVI R2, #17
+		MOVI R3, #23
+	loop:
+		MUL R4, R2, R3
+		MUL_ASP8 R4, R2, #1
+		ADD R5, R5, R4
+		SUBIS R1, R1, #1
+		BNE loop
+		HALT
+	`
+	ref, refM := device(t, src)
+	sup, supM := device(t, src)
+	ref.Memo = NewMemoTable()
+	sup.Memo = NewMemoTable()
+
+	refCycles, _, refErr := stepRef(t, ref)
+	supCycles, supErr := func() (uint64, error) {
+		var cycles uint64
+		for !sup.Halted {
+			res, err := sup.RunSuper(1<<62, nil)
+			cycles += res.Cycles
+			if err != nil {
+				return cycles, err
+			}
+		}
+		return cycles, nil
+	}()
+	if refErr != nil || supErr != nil {
+		t.Fatalf("unexpected faults: ref %v sup %v", refErr, supErr)
+	}
+	if refCycles != supCycles {
+		t.Errorf("cycles diverge with memoization: ref %d sup %d", refCycles, supCycles)
+	}
+	assertSameState(t, ref, sup, refM, supM)
+}
+
+// TestRunDispatch pins the backend selector: BackendBatch must behave as
+// RunUntil and the default zero value as the superblock executor, both
+// producing identical results.
+func TestRunDispatch(t *testing.T) {
+	for _, backend := range []Backend{BackendSuper, BackendBatch} {
+		ref, refM := device(t, diffPrograms["mixed-loop"])
+		got, gotM := device(t, diffPrograms["mixed-loop"])
+		got.Backend = backend
+		if _, _, err := stepRef(t, ref); err != nil {
+			t.Fatal(err)
+		}
+		for !got.Halted {
+			if _, err := got.Run(1<<62, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertSameState(t, ref, got, refM, gotM)
+	}
+}
+
+// TestTranslationBoundariesMatchCFG is the satellite-1 contract: every fused
+// superblock must lie inside exactly one wncheck CFG block, starting at the
+// block's first instruction, and a block fused through its terminator must
+// end exactly where the CFG block ends. The CFG comes from the same public
+// accessor the translator consumes, so a drift in either direction fails.
+func TestTranslationBoundariesMatchCFG(t *testing.T) {
+	for name, src := range diffPrograms {
+		t.Run(name, func(t *testing.T) {
+			c, m := device(t, src)
+			extents, err := c.TranslationBlocks()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(extents) == 0 {
+				t.Fatal("no superblocks fused")
+			}
+			g := wncheck.ImageCFG(m.ProgramImage())
+			blocks := g.Blocks()
+			fullFusions := 0
+			for _, ext := range extents {
+				idx := g.BlockAt(ext[0])
+				if idx < 0 {
+					t.Fatalf("superblock start %#08x is not inside any CFG block", ext[0])
+				}
+				b := blocks[idx]
+				if ext[0] != b.Start {
+					t.Errorf("superblock starts at %#08x, CFG block at %#08x", ext[0], b.Start)
+				}
+				if ext[1] > b.End {
+					t.Errorf("superblock [%#08x,%#08x) crosses CFG block end %#08x",
+						ext[0], ext[1], b.End)
+				}
+				// A block counts as fully fused when it reaches the CFG
+				// block's end, or stops exactly one instruction short of it
+				// (a non-inlinable terminator: HALT or SKM stays on the
+				// interpreter by design).
+				if ext[1] == b.End || ext[1]+isa.InstBytes == b.End {
+					fullFusions++
+				}
+			}
+			if fullFusions == 0 {
+				t.Error("no superblock spans a full CFG block")
+			}
+		})
+	}
+}
+
+// TestRunBudgetOvershootAllStopReasons is the satellite-2 regression: for
+// every StopReason — budget, halt, store-hook, skim, and fault — and for
+// both backends, a window never exceeds budget + MaxInstrCycles - 1 cycles.
+// The programs are chosen so every reason is actually observed, and the test
+// fails if one never occurs.
+func TestRunBudgetOvershootAllStopReasons(t *testing.T) {
+	progs := []string{
+		diffPrograms["mixed-loop"], // stores (StopStore with hook), budget windows, halt
+		diffPrograms["skim"],       // StopSkim
+		`
+			MOVI R0, #0
+			MOVTI R0, #0x4000
+			MOVI R1, #50
+		spin:
+			ADD R2, R2, R1
+			MUL R3, R2, R1
+			SUBIS R1, R1, #1
+			BNE spin
+			LDR R4, [R0, #0]
+			HALT
+		`, // StopFault after a multiply-heavy run (worst-case overshoot)
+	}
+	for _, backend := range []Backend{BackendSuper, BackendBatch} {
+		seen := map[StopReason]bool{}
+		for _, src := range progs {
+			for budget := uint64(1); budget <= 40; budget++ {
+				c, _ := device(t, src)
+				c.Backend = backend
+				c.BeforeStore = func(uint32, int) {} // arm the StopStore path
+				for i := 0; !c.Halted; i++ {
+					if i > 100_000 {
+						t.Fatal("runaway program")
+					}
+					res, err := c.Run(budget, nil)
+					seen[res.Reason] = true
+					if res.Cycles > budget+MaxInstrCycles-1 {
+						t.Fatalf("backend %d budget %d: window ran %d cycles (reason %d), want <= %d",
+							backend, budget, res.Cycles, res.Reason, budget+MaxInstrCycles-1)
+					}
+					if err != nil {
+						break // fault windows end the run
+					}
+					if res.Reason == StopStore {
+						if _, err := c.Step(); err != nil {
+							break
+						}
+					}
+				}
+			}
+		}
+		for _, want := range []StopReason{StopBudget, StopHalt, StopStore, StopSkim, StopFault} {
+			if !seen[want] {
+				t.Errorf("backend %d: StopReason %d never observed", backend, want)
+			}
+		}
+	}
+}
+
+// fuzzSeedWords returns the valid encodable words derived from the
+// FuzzEncodeDecode seed instructions — the same operand-class coverage the
+// fuzz corpus starts from.
+func fuzzSeedWords(t *testing.T) []uint32 {
+	t.Helper()
+	seeds := []isa.Instruction{
+		{Op: isa.OpNop},
+		{Op: isa.OpHalt},
+		{Op: isa.OpMovI, Rd: 3, Imm: 0xFFFF},
+		{Op: isa.OpMovTI, Rd: 3, Imm: 0x1000},
+		{Op: isa.OpMov, Rd: 1, Rm: 2},
+		{Op: isa.OpAdd, Rd: 1, Rn: 2, Rm: 3},
+		{Op: isa.OpAddI, Rd: 1, Rn: 2, Imm: -(1 << 15)},
+		{Op: isa.OpSubIS, Rd: 4, Rn: 4, Imm: 1},
+		{Op: isa.OpCmpI, Rn: 5, Imm: 1<<15 - 1},
+		{Op: isa.OpLdr, Rd: 6, Rn: 7, Imm: 64},
+		{Op: isa.OpStrbX, Rd: 6, Rn: 7, Rm: 8},
+		{Op: isa.OpB, Imm: -8},
+		{Op: isa.OpBl, Imm: 400},
+		{Op: isa.OpBx, Rm: 14},
+		{Op: isa.OpSkm, Imm: 0x120},
+		{Op: isa.OpMulASP8, Rd: 9, Rm: 10, Imm: 3},
+		{Op: isa.OpAddASV16, Rd: 11, Rm: 12},
+		{Op: isa.OpSubASV4, Rd: 0, Rm: 1},
+	}
+	var words []uint32
+	for _, in := range seeds {
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("seed %v does not encode: %v", in, err)
+		}
+		words = append(words, uint32(w))
+	}
+	return words
+}
+
+// randomProgram synthesizes a program of decodable words: a mix of fuzz-seed
+// words with randomized operand fields and raw random words filtered through
+// isa.Decode, HALT-terminated. Deterministic per rng.
+func randomProgram(rng *rand.Rand, seedWords []uint32) []byte {
+	n := 16 + rng.Intn(48)
+	image := make([]byte, 0, (n+1)*isa.InstBytes)
+	emit := func(w uint32) {
+		image = append(image, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			// A fully random decodable word (rejection-sampled).
+			for tries := 0; tries < 64; tries++ {
+				w := rng.Uint32()
+				if _, err := isa.Decode(isa.Word(w)); err == nil {
+					emit(w)
+					break
+				}
+				if tries == 63 {
+					emit(seedWords[rng.Intn(len(seedWords))])
+				}
+			}
+			continue
+		}
+		// A seed word with re-randomized register fields, re-checked so the
+		// mutation stays decodable; fall back to the original seed word.
+		base := seedWords[rng.Intn(len(seedWords))]
+		in, err := isa.Decode(isa.Word(base))
+		if err != nil {
+			continue
+		}
+		in.Rd = isa.Reg(rng.Intn(13)) // keep off SP/LR/PC for denser execution
+		if in.Op.HasRm() {
+			in.Rm = isa.Reg(rng.Intn(13))
+		}
+		if w, err := isa.Encode(in); err == nil {
+			emit(uint32(w))
+		} else {
+			emit(base)
+		}
+	}
+	// Terminate: random programs rarely halt on their own.
+	if w, err := isa.Encode(isa.Instruction{Op: isa.OpHalt}); err == nil {
+		emit(uint32(w))
+	}
+	return image
+}
+
+// TestFuzzCorpusDifferential is the satellite-3 fuzz-style differential:
+// deterministic random programs built from the FuzzEncodeDecode seed classes
+// run under the reference Step loop, the batched interpreter at budget=1
+// (one instruction per window — every boundary observed), and the superblock
+// backend, diffing registers, flags, skim state, and NV memory at every
+// instruction boundary, and full state (including Stats) at the end.
+func TestFuzzCorpusDifferential(t *testing.T) {
+	const (
+		programs      = 40
+		maxBoundaries = 3000
+	)
+	seedWords := fuzzSeedWords(t)
+	rng := rand.New(rand.NewSource(0x574E5F50523821)) // deterministic corpus
+
+	for pi := 0; pi < programs; pi++ {
+		image := randomProgram(rng, seedWords)
+		newDev := func() (*CPU, *mem.Memory) {
+			m := mem.New(mem.DefaultConfig())
+			if err := m.LoadProgram(image); err != nil {
+				t.Fatal(err)
+			}
+			return New(m), m
+		}
+		ref, refM := newDev()
+		bat, batM := newDev()
+
+		// Phase 1: boundary-lockstep reference vs batched interpreter.
+		var refErr, batErr error
+		boundaries := 0
+		for ; boundaries < maxBoundaries && !ref.Halted; boundaries++ {
+			_, refErr = ref.Step()
+			_, batErr = bat.RunUntil(1, nil)
+			if (refErr == nil) != (batErr == nil) {
+				t.Fatalf("program %d boundary %d: fault asymmetry ref %v bat %v",
+					pi, boundaries, refErr, batErr)
+			}
+			if refErr != nil {
+				if refErr.Error() != batErr.Error() {
+					t.Fatalf("program %d boundary %d: fault messages diverge:\nref %v\nbat %v",
+						pi, boundaries, refErr, batErr)
+				}
+				break
+			}
+			if ref.Regs != bat.Regs || ref.Halted != bat.Halted ||
+				ref.SkimArmed != bat.SkimArmed || ref.SkimTarget != bat.SkimTarget ||
+				ref.N != bat.N || ref.Z != bat.Z || ref.C != bat.C || ref.V != bat.V {
+				t.Fatalf("program %d: state diverges at boundary %d", pi, boundaries)
+			}
+		}
+		if !refM.StateEqual(batM) {
+			t.Fatalf("program %d: memory diverges ref vs bat", pi)
+		}
+
+		// Phase 2: superblock backend vs the reference outcome. When the
+		// reference halted or faulted the program is finite, so the
+		// superblock run must reach the identical end state; when the
+		// boundary cap hit, align by the exact cycle total (budgets stop at
+		// instruction boundaries, so equal cycle sums mean equal positions).
+		sup, supM := newDev()
+		var supErr error
+		if refErr != nil || ref.Halted {
+			for i := 0; !sup.Halted && supErr == nil; i++ {
+				if i > maxBoundaries {
+					t.Fatalf("program %d: superblock run does not terminate", pi)
+				}
+				_, supErr = sup.RunSuper(1<<62, nil)
+			}
+			if (refErr == nil) != (supErr == nil) {
+				t.Fatalf("program %d: fault asymmetry ref %v sup %v", pi, refErr, supErr)
+			}
+			if refErr != nil && refErr.Error() != supErr.Error() {
+				t.Fatalf("program %d: fault messages diverge:\nref %v\nsup %v", pi, refErr, supErr)
+			}
+		} else {
+			target := ref.Stats.Cycles
+			for sup.Stats.Cycles < target && !sup.Halted {
+				if _, err := sup.RunSuper(target-sup.Stats.Cycles, nil); err != nil {
+					t.Fatalf("program %d: superblock faulted during aligned run: %v", pi, err)
+				}
+			}
+		}
+		if ref.Regs != sup.Regs || ref.Halted != sup.Halted ||
+			ref.SkimArmed != sup.SkimArmed || ref.SkimTarget != sup.SkimTarget ||
+			ref.N != sup.N || ref.Z != sup.Z || ref.C != sup.C || ref.V != sup.V {
+			t.Fatalf("program %d: final state diverges ref vs sup", pi)
+		}
+		if !reflect.DeepEqual(ref.Stats, sup.Stats) {
+			t.Fatalf("program %d: stats diverge:\nref %+v\nsup %+v", pi, ref.Stats, sup.Stats)
+		}
+		if !refM.StateEqual(supM) {
+			t.Fatalf("program %d: memory diverges ref vs sup", pi)
+		}
+	}
+}
+
+// TestForkSharesTranslation pins the lockstep fork contract: a forked CPU
+// reuses the parent's decode cache and translation (pointer-equal), copies
+// architectural state, drops the store hook, and runs independently to a
+// state identical to an unforked continuation.
+func TestForkSharesTranslation(t *testing.T) {
+	src := diffPrograms["mixed-loop"]
+	c, m := device(t, src)
+	c.BeforeStore = func(uint32, int) {}
+	// Run partway in, then fork.
+	if _, err := c.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.BeforeStore = nil
+	m2 := m.Clone()
+	f := c.Fork(m2)
+	if f.trans != c.trans || f.decodeCache == nil {
+		t.Fatal("fork must share the parent's translation and decode cache")
+	}
+	if f.BeforeStore != nil {
+		t.Fatal("fork must not inherit the BeforeStore hook")
+	}
+	if f.Regs != c.Regs || f.Stats != c.Stats {
+		t.Fatal("fork must copy architectural state and stats")
+	}
+	// Both continue to halt; they must stay identical.
+	for !c.Halted {
+		if _, err := c.Run(1<<62, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !f.Halted {
+		if _, err := f.Run(1<<62, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Regs != f.Regs || !m.StateEqual(m2) {
+		t.Fatal("forked continuation diverged from the parent's")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"whatsnext/internal/cpu"
+)
+
+// ExecBackend selects which execution engine the continuous-power harnesses
+// drive for A/B comparisons (`wnbench -backend {ref,batch,super}`).
+type ExecBackend int
+
+const (
+	// ExecSuper (default): the superblock translation backend.
+	ExecSuper ExecBackend = iota
+	// ExecBatch: the per-instruction batched interpreter (the PR 3 engine).
+	ExecBatch
+	// ExecRef: the per-instruction reference Step loop — full hook fidelity,
+	// no batching. The slowest path; useful to bound interpreter drift.
+	ExecRef
+)
+
+// execBackend is the process-wide engine selection. Continuous-power
+// harnesses (Table I, figure sweeps) honor all three; intermittent-power
+// runs honor super/batch through cpu.Backend and treat ref as batch (the
+// runtimes' reference mode is a separate, policy-level switch).
+var execBackend = ExecSuper
+
+// SetExecBackend selects the execution engine for subsequent runs. Not safe
+// to call concurrently with running studies; set it once at startup.
+func SetExecBackend(b ExecBackend) { execBackend = b }
+
+// ParseBackend maps a -backend flag value to an ExecBackend.
+func ParseBackend(s string) (ExecBackend, error) {
+	switch s {
+	case "super":
+		return ExecSuper, nil
+	case "batch":
+		return ExecBatch, nil
+	case "ref":
+		return ExecRef, nil
+	}
+	return ExecSuper, fmt.Errorf("experiments: unknown backend %q (want ref, batch, or super)", s)
+}
+
+// applyBackend stamps the selected engine onto a freshly built device.
+func applyBackend(cp *cpu.CPU) {
+	if execBackend == ExecBatch {
+		cp.Backend = cpu.BackendBatch
+	}
+}
+
+// runWindow executes one batched window on the selected backend with
+// RunUntil's stop contract. The ref backend emulates the window through
+// per-instruction Step calls: it stops at the budget boundary, at halt, at
+// a fault, and after an SKM newly arms the skim register.
+func runWindow(cp *cpu.CPU, budget uint64) (cpu.BatchResult, error) {
+	if execBackend != ExecRef {
+		return cp.Run(budget, nil)
+	}
+	var res cpu.BatchResult
+	if cp.Halted {
+		res.Reason = cpu.StopHalt
+		return res, nil
+	}
+	for res.Cycles < budget {
+		armed := cp.SkimArmed
+		cost, err := cp.Step()
+		if err != nil {
+			res.Reason = cpu.StopFault
+			return res, err
+		}
+		res.Cycles += uint64(cost.Cycles)
+		res.Instructions++
+		if cp.Halted {
+			res.Reason = cpu.StopHalt
+			return res, nil
+		}
+		if !armed && cp.SkimArmed {
+			res.Reason = cpu.StopSkim
+			return res, nil
+		}
+	}
+	res.Reason = cpu.StopBudget
+	return res, nil
+}

@@ -83,7 +83,7 @@ func runFaultCell(b *workloads.Benchmark, p workloads.Params, rtName string,
 		return FaultRow{}, err
 	}
 	target := faultinject.FromCompiled(b.Name, c, b.Inputs(p, 1))
-	rep, err := faultinject.Run(target,
+	rep, err := faultinject.RunLockstep(target,
 		faultinject.Config{Policy: policy},
 		faultinject.Schedule{Points: points})
 	if err != nil {

@@ -151,6 +151,7 @@ func bareDeviceOn(m *mem.Memory, c *compiler.Compiled, inputs map[string][]int64
 	if memo {
 		cp.Memo = cpu.NewMemoTable()
 	}
+	applyBackend(cp)
 	return cp, m, nil
 }
 
@@ -192,7 +193,7 @@ func runContinuous(c *compiler.Compiled, inputs map[string][]int64, opt contOpti
 		if opt.cycleBudget != 0 && opt.cycleBudget-cycles < budget {
 			budget = opt.cycleBudget - cycles
 		}
-		res, err := cp.RunUntil(budget, nil)
+		res, err := runWindow(cp, budget)
 		if err != nil {
 			return contResult{}, nil, fmt.Errorf("experiments: %s fault: %w", c.Kernel.Name, err)
 		}

@@ -320,7 +320,7 @@ func (r *Runner) runBatched() (Result, error) {
 		}
 
 		costs = costs[:0]
-		batch, err := r.CPU.RunUntil(budget, &costs)
+		batch, err := r.CPU.Run(budget, &costs)
 		// Replay first: the instructions before a fault (or a StopStore /
 		// StopSkim boundary) executed and must pay energy in order.
 		for _, cost := range costs {

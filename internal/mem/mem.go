@@ -16,7 +16,10 @@
 // checkpoint is a single epoch increment.
 package mem
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // Region boundaries. Addresses are 32-bit; each region is sized at
 // construction time.
@@ -75,6 +78,15 @@ type Memory struct {
 	readEpoch   []uint32 // stamped when read before any write this epoch
 	writeEpoch  []uint32 // stamped when written this epoch
 
+	// Dirty-extent tracking for the lockstep fault injector: the byte
+	// extents written since the last ResetDirty, maintained O(1) per store.
+	// Forked devices use them to copy and compare only the touched windows
+	// instead of the full (hundreds-of-KB) region set. Off by default;
+	// stores take the precise path while enabled.
+	trackDirty bool
+	dirty      DirtyExtent
+	sramHigh   uint32 // high-water mark of SRAM writes since SetDirtyTracking
+
 	// Cached region resolution: consecutive accesses to the same region
 	// skip the backing switch. curNV is 1 when the cached region is the
 	// non-volatile data region (so the store fast path can bump NVWrites
@@ -104,7 +116,120 @@ func New(cfg Config) *Memory {
 		data:  slab[cb : cb+db : cb+db],
 		sram:  slab[cb+db:],
 		epoch: 1,
+		dirty: emptyDirty(),
 	}
+}
+
+// DirtyExtent records which parts of a memory were written since the last
+// ResetDirty: half-open byte extents [Lo, Hi) within the data and SRAM
+// regions, and a flag for any write into the code region (self-modifying
+// programs are rare enough that byte precision there buys nothing). The
+// zero extent (Lo >= Hi) is empty.
+type DirtyExtent struct {
+	DataLo, DataHi uint32
+	SRAMLo, SRAMHi uint32
+	Code           bool
+}
+
+func emptyDirty() DirtyExtent {
+	return DirtyExtent{DataLo: ^uint32(0), SRAMLo: ^uint32(0)}
+}
+
+// Union widens the extent to cover o as well.
+func (e DirtyExtent) Union(o DirtyExtent) DirtyExtent {
+	if o.DataLo < e.DataLo {
+		e.DataLo = o.DataLo
+	}
+	if o.DataHi > e.DataHi {
+		e.DataHi = o.DataHi
+	}
+	if o.SRAMLo < e.SRAMLo {
+		e.SRAMLo = o.SRAMLo
+	}
+	if o.SRAMHi > e.SRAMHi {
+		e.SRAMHi = o.SRAMHi
+	}
+	e.Code = e.Code || o.Code
+	return e
+}
+
+// SetDirtyTracking enables or disables dirty-extent tracking and resets the
+// extents and the SRAM high-water mark. While enabled, stores take the
+// precise (non-inlined) path, so harnesses leave it off; the lockstep fault
+// injector enables it on its trunk and forked devices only.
+func (m *Memory) SetDirtyTracking(on bool) {
+	m.trackDirty = on
+	m.dirty = emptyDirty()
+	m.sramHigh = 0
+}
+
+// Dirty returns the extents written since the last ResetDirty.
+func (m *Memory) Dirty() DirtyExtent { return m.dirty }
+
+// ResetDirty empties the dirty extents (the SRAM high-water mark persists).
+func (m *Memory) ResetDirty() { m.dirty = emptyDirty() }
+
+// noteDirty widens the dirty extents for a store of size bytes at addr.
+func (m *Memory) noteDirty(addr uint32, size int) {
+	switch {
+	case inRegion(addr, DataBase, len(m.data)):
+		off := addr - DataBase
+		if off < m.dirty.DataLo {
+			m.dirty.DataLo = off
+		}
+		if end := off + uint32(size); end > m.dirty.DataHi {
+			m.dirty.DataHi = end
+		}
+	case inRegion(addr, SRAMBase, len(m.sram)):
+		off := addr - SRAMBase
+		if off < m.dirty.SRAMLo {
+			m.dirty.SRAMLo = off
+		}
+		if end := off + uint32(size); end > m.dirty.SRAMHi {
+			m.dirty.SRAMHi = end
+		}
+		if end := off + uint32(size); end > m.sramHigh {
+			m.sramHigh = end
+		}
+	default:
+		m.dirty.Code = true
+	}
+}
+
+// CopyDirty copies src's bytes within ext into m, plus the access counters.
+// It is the incremental form of Clone for a memory that already matches src
+// everywhere outside ext: the lockstep injector re-syncs its reusable fork
+// with it in O(|ext|). Tracking stamps are deliberately not copied — the
+// caller's next ClearAccessSets (every restore path issues one) makes any
+// stale stamps unreadable, because m's epoch only ever moves forward.
+func (m *Memory) CopyDirty(src *Memory, ext DirtyExtent) {
+	if ext.DataLo < ext.DataHi {
+		copy(m.data[ext.DataLo:ext.DataHi], src.data[ext.DataLo:ext.DataHi])
+	}
+	if ext.SRAMLo < ext.SRAMHi {
+		copy(m.sram[ext.SRAMLo:ext.SRAMHi], src.sram[ext.SRAMLo:ext.SRAMHi])
+	}
+	if ext.Code {
+		copy(m.code, src.code)
+	}
+	m.sramHigh = max(m.sramHigh, src.sramHigh)
+	m.Reads, m.Writes, m.NVWrites = src.Reads, src.Writes, src.NVWrites
+}
+
+// EqualWithin reports whether m and o hold identical bytes inside ext. For
+// two memories known to be equal outside ext (a fork and its trunk), this
+// is a full state-equality test at O(|ext|) cost.
+func (m *Memory) EqualWithin(o *Memory, ext DirtyExtent) bool {
+	if ext.DataLo < ext.DataHi && !bytes.Equal(m.data[ext.DataLo:ext.DataHi], o.data[ext.DataLo:ext.DataHi]) {
+		return false
+	}
+	if ext.SRAMLo < ext.SRAMHi && !bytes.Equal(m.sram[ext.SRAMLo:ext.SRAMHi], o.sram[ext.SRAMLo:ext.SRAMHi]) {
+		return false
+	}
+	if ext.Code && !bytes.Equal(m.code, o.code) {
+		return false
+	}
+	return true
 }
 
 // Wipe returns the memory to its post-New state — all regions zeroed,
@@ -118,6 +243,9 @@ func (m *Memory) Wipe() {
 	m.trackAccess = false
 	m.epoch = 1
 	m.readEpoch, m.writeEpoch = nil, nil
+	m.trackDirty = false
+	m.dirty = emptyDirty()
+	m.sramHigh = 0
 	m.curRegion, m.curBase, m.curNV = nil, 0, 0
 	m.progLen = 0
 	m.Reads, m.Writes, m.NVWrites = 0, 0, 0
@@ -125,6 +253,47 @@ func (m *Memory) Wipe() {
 
 // Config returns the sizes the memory was built with.
 func (m *Memory) Config() Config { return m.cfg }
+
+// Clone deep-copies the memory: region contents, tracking shadow state
+// (epoch stamps included, so a cloned Clank device sees the same read/write
+// sets), program extent, and access counters. The region-resolution cache
+// starts cold — it re-warms on the clone's first access. The fault injector
+// forks a mid-run device at every kill boundary with it.
+func (m *Memory) Clone() *Memory {
+	n := New(m.cfg)
+	copy(n.code, m.code)
+	copy(n.data, m.data)
+	copy(n.sram, m.sram)
+	n.trackAccess = m.trackAccess
+	n.epoch = m.epoch
+	if m.readEpoch != nil {
+		n.readEpoch = append([]uint32(nil), m.readEpoch...)
+		n.writeEpoch = append([]uint32(nil), m.writeEpoch...)
+	}
+	n.progLen = m.progLen
+	n.trackDirty = m.trackDirty
+	n.dirty = m.dirty
+	n.sramHigh = m.sramHigh
+	n.Reads, n.Writes, n.NVWrites = m.Reads, m.Writes, m.NVWrites
+	return n
+}
+
+// StateEqual reports whether two memories hold identical bytes in every
+// region. Tracking shadow state and access counters are deliberately
+// excluded: they influence checkpoint placement and energy accounting, never
+// the values a deterministic continuation computes. The lockstep fault
+// injector uses this as its re-convergence test.
+func (m *Memory) StateEqual(o *Memory) bool {
+	return bytes.Equal(m.code, o.code) && bytes.Equal(m.data, o.data) && bytes.Equal(m.sram, o.sram)
+}
+
+// ProgramImage returns a copy of the loaded program image (the progLen-byte
+// prefix of code memory). The CPU's translation backend hands it to
+// wncheck.ImageCFG so superblock extents come from the same CFG the static
+// verifier reasons about.
+func (m *Memory) ProgramImage() []byte {
+	return append([]byte(nil), m.code[:m.progLen]...)
+}
 
 // SetTracking enables or disables read/write-set tracking. The Clank runtime
 // enables it; the NVP runtime leaves it off. The shadow arrays (one epoch
@@ -229,7 +398,7 @@ func (m *Memory) TryLoadByte(addr uint32) (uint32, bool) {
 func (m *Memory) TryStoreWord(addr uint32, v uint32) bool {
 	b := m.curRegion
 	off := addr - m.curBase
-	if uint64(off)+4 > uint64(len(b)) || addr&3 != 0 || m.trackAccess {
+	if uint64(off)+4 > uint64(len(b)) || addr&3 != 0 || m.trackAccess || m.trackDirty {
 		return false
 	}
 	m.Writes++
@@ -242,7 +411,7 @@ func (m *Memory) TryStoreWord(addr uint32, v uint32) bool {
 func (m *Memory) TryStoreHalf(addr uint32, v uint32) bool {
 	b := m.curRegion
 	off := addr - m.curBase
-	if uint64(off)+2 > uint64(len(b)) || addr&1 != 0 || m.trackAccess {
+	if uint64(off)+2 > uint64(len(b)) || addr&1 != 0 || m.trackAccess || m.trackDirty {
 		return false
 	}
 	m.Writes++
@@ -255,7 +424,7 @@ func (m *Memory) TryStoreHalf(addr uint32, v uint32) bool {
 func (m *Memory) TryStoreByte(addr uint32, v uint32) bool {
 	b := m.curRegion
 	off := addr - m.curBase
-	if off >= uint32(len(b)) || m.trackAccess {
+	if off >= uint32(len(b)) || m.trackAccess || m.trackDirty {
 		return false
 	}
 	m.Writes++
@@ -394,6 +563,9 @@ func (m *Memory) StoreWord(addr uint32, v uint32) error {
 	if inRegion(addr, DataBase, len(m.data)) {
 		m.noteWriteSlow(addr, 4)
 	}
+	if m.trackDirty {
+		m.noteDirty(addr, 4)
+	}
 	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 	return nil
 }
@@ -408,6 +580,9 @@ func (m *Memory) StoreHalf(addr uint32, v uint32) error {
 	if inRegion(addr, DataBase, len(m.data)) {
 		m.noteWriteSlow(addr, 2)
 	}
+	if m.trackDirty {
+		m.noteDirty(addr, 2)
+	}
 	b[off], b[off+1] = byte(v), byte(v>>8)
 	return nil
 }
@@ -421,6 +596,9 @@ func (m *Memory) StoreByte(addr uint32, v uint32) error {
 	m.Writes++
 	if inRegion(addr, DataBase, len(m.data)) {
 		m.noteWriteSlow(addr, 1)
+	}
+	if m.trackDirty {
+		m.noteDirty(addr, 1)
 	}
 	b[off] = byte(v)
 	return nil
@@ -458,6 +636,9 @@ func (m *Memory) WriteData(addr uint32, b []byte) error {
 	if !inRegion(addr, DataBase, len(m.data)) || int(addr-DataBase)+len(b) > len(m.data) {
 		return &AccessError{Addr: addr, Size: len(b), Write: true, Msg: "bulk write out of data region"}
 	}
+	if m.trackDirty && len(b) > 0 {
+		m.noteDirty(addr, len(b))
+	}
 	copy(m.data[addr-DataBase:], b)
 	return nil
 }
@@ -477,6 +658,21 @@ func (m *Memory) ReadData(addr uint32, b []byte) error {
 // arrays — the runtime decides when to reset tracking (ClearAccessSets at
 // restore), mirroring Clank's non-volatile filter state.
 func (m *Memory) PowerLoss() {
+	if m.trackDirty {
+		// Every SRAM byte written since tracking began is bounded by the
+		// high-water mark, and tracking starts on a zeroed region, so only
+		// [0, sramHigh) can change — clear and mark exactly that window.
+		if m.sramHigh > 0 {
+			clear(m.sram[:m.sramHigh])
+			if m.dirty.SRAMLo != 0 {
+				m.dirty.SRAMLo = 0
+			}
+			if m.sramHigh > m.dirty.SRAMHi {
+				m.dirty.SRAMHi = m.sramHigh
+			}
+		}
+		return
+	}
 	clear(m.sram)
 }
 
@@ -484,6 +680,10 @@ func (m *Memory) PowerLoss() {
 // between benchmark invocations.
 func (m *Memory) ZeroData() {
 	clear(m.data)
+	if m.trackDirty {
+		m.dirty.DataLo = 0
+		m.dirty.DataHi = uint32(len(m.data))
+	}
 }
 
 // ResetStats zeroes the access counters.

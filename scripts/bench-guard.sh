@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench-guard.sh — fail when the end-to-end Table I benchmark regresses
+# against the committed reference summary.
+#
+# Usage: scripts/bench-guard.sh [BASELINE_JSON]
+#
+# Runs BenchmarkTableI several times, takes the fastest run (the least-noise
+# estimator on shared runners), and compares it against ns_per_op recorded in
+# the baseline summary (default BENCH_PR8.json). Exits non-zero when the
+# measurement is more than BENCH_TOLERANCE_PCT percent slower (default 10).
+#
+# The committed baseline was measured on the machine class named in the
+# summary; when gating on a different machine class, re-record the baseline
+# there or widen BENCH_TOLERANCE_PCT rather than comparing absolute ns/op
+# across hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file="${1:-BENCH_PR8.json}"
+tolerance_pct="${BENCH_TOLERANCE_PCT:-10}"
+count="${BENCH_GUARD_COUNT:-3}"
+
+if [[ ! -f "$baseline_file" ]]; then
+    echo "bench-guard: baseline $baseline_file not found" >&2
+    exit 1
+fi
+
+baseline_ns=$(awk '/"BenchmarkTableI"/{f=1} f && /"ns_per_op"/{gsub(/[^0-9.]/,""); print; exit}' "$baseline_file")
+if [[ -z "$baseline_ns" ]]; then
+    echo "bench-guard: no BenchmarkTableI ns_per_op in $baseline_file" >&2
+    exit 1
+fi
+
+echo "bench-guard: baseline BenchmarkTableI ${baseline_ns} ns/op (${baseline_file}), tolerance ${tolerance_pct}%"
+
+best_ns=$(go test -run '^$' -bench 'BenchmarkTableI$' -benchtime 20x -count "$count" . |
+    awk '/^BenchmarkTableI/{print $3}' | sort -n | head -1)
+if [[ -z "$best_ns" ]]; then
+    echo "bench-guard: benchmark produced no BenchmarkTableI line" >&2
+    exit 1
+fi
+
+echo "bench-guard: measured  BenchmarkTableI ${best_ns} ns/op (best of ${count})"
+
+awk -v best="$best_ns" -v base="$baseline_ns" -v tol="$tolerance_pct" 'BEGIN {
+    limit = base * (1 + tol / 100)
+    ratio = best / base
+    if (best > limit) {
+        printf "bench-guard: FAIL — %.0f ns/op exceeds %.0f ns/op (%.1f%% over baseline, tolerance %s%%)\n",
+            best, limit, (ratio - 1) * 100, tol
+        exit 1
+    }
+    printf "bench-guard: OK — %.2fx of baseline (limit %.0f ns/op)\n", ratio, limit
+}'
