@@ -81,6 +81,7 @@ var registry = []expEntry{
 	{"ablation", "Ablations: skim points, watchdog interval, capacitor size, memo capacity, consistency mechanisms", runAblation},
 	{"env", "Extension: harvest environments (Wi-Fi, solar, thermal, motion)", runEnv},
 	{"faults", "Fault injection: strided power failures over the Table I kernels under Clank and NVP", runFaults},
+	{"nn", "NN inference: accuracy vs energy across subword widths (progress-embedded kernels)", runNN},
 	{"areapower", "Section V-D: synthesis area/power/Fmax model", runAreaPower},
 }
 
@@ -423,6 +424,15 @@ func runFaults(c *runCtx) error {
 	if !experiments.FaultsClean(rows) {
 		return fmt.Errorf("fault injection witnessed crash-consistency divergences")
 	}
+	return nil
+}
+
+func runNN(c *runCtx) error {
+	rows, err := experiments.NNStudy(c.proto)
+	if err != nil {
+		return err
+	}
+	experiments.PrintNN(c.w, rows)
 	return nil
 }
 

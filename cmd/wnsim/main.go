@@ -16,13 +16,14 @@ import (
 	"whatsnext/internal/compiler"
 	"whatsnext/internal/core"
 	"whatsnext/internal/energy"
+	_ "whatsnext/internal/nn" // registers the NN benchmark family
 	"whatsnext/internal/quality"
 	"whatsnext/internal/workloads"
 )
 
 func main() {
 	var (
-		benchName  = flag.String("bench", "Conv2d", "benchmark: Conv2d, MatMul, MatAdd, Home, Var, NetMotion")
+		benchName  = flag.String("bench", "Conv2d", "benchmark: Conv2d, MatMul, MatAdd, Home, Var, NetMotion, NNConv, NNFC, NNPoolAvg, NNPoolMax")
 		mode       = flag.String("mode", "precise", "precise, swp, swv, or wn (benchmark's own technique)")
 		bits       = flag.Int("bits", 8, "subword size (1,2,3,4,8)")
 		proc       = flag.String("proc", "clank", "processor runtime: clank or nvp")
@@ -35,15 +36,17 @@ func main() {
 		dumpIR     = flag.Bool("dump-ir", false, "print the kernel IR (with pragmas) and exit")
 		traceFile  = flag.String("trace-file", "", "CSV harvest trace (as written by wntrace gen)")
 		vloads     = flag.Bool("vector-loads", false, "SWP with subword-major vectorized loads (Fig. 12)")
+		embed      = flag.Bool("embed", false, "progress-embedding lowering (store-once tiles, sentinel resume scan)")
+		passes     = flag.Int("passes", 0, "keep only the most significant N subword passes (0 = all)")
 	)
 	flag.Parse()
-	if err := run(*benchName, *mode, *bits, *proc, *traceSeed, *continuous, *memo, *paperScale, *seed, *dumpAsm, *dumpIR, *traceFile, *vloads); err != nil {
+	if err := run(*benchName, *mode, *bits, *proc, *traceSeed, *continuous, *memo, *paperScale, *seed, *dumpAsm, *dumpIR, *traceFile, *vloads, *embed, *passes); err != nil {
 		fmt.Fprintln(os.Stderr, "wnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, mode string, bits int, proc string, traceSeed int64, continuous, memo, paperScale bool, seed int64, dumpAsm, dumpIR bool, traceFile string, vloads bool) error {
+func run(benchName, mode string, bits int, proc string, traceSeed int64, continuous, memo, paperScale bool, seed int64, dumpAsm, dumpIR bool, traceFile string, vloads bool, embed bool, passes int) error {
 	b, err := workloads.ByName(benchName)
 	if err != nil {
 		return err
@@ -72,7 +75,7 @@ func run(benchName, mode string, bits int, proc string, traceSeed int64, continu
 		fmt.Print(compiler.Dump(k))
 		return nil
 	}
-	c, err := compiler.Compile(k, compiler.Options{Mode: m, VectorLoads: vloads})
+	c, err := compiler.Compile(k, compiler.Options{Mode: m, VectorLoads: vloads, ProgressEmbed: embed, MaxPasses: passes})
 	if err != nil {
 		return err
 	}

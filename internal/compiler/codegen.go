@@ -401,6 +401,8 @@ func (cg *codegen) eval(e Expr) (isa.Reg, error) {
 		if err != nil {
 			return 0, err
 		}
+		// Both folds start from zero: summation trivially, and the unsigned
+		// maximum because every element value is non-negative.
 		cg.e.emitf("MOVI %s, #0", acc)
 		err = cg.genLoop(ex.Var, ex.N, func() error {
 			v, err := cg.eval(ex.Body)
@@ -410,7 +412,14 @@ func (cg *codegen) eval(e Expr) (isa.Reg, error) {
 			if cg.mode == ModePrecise && cg.loadsPragma(ex.Body, PragmaASV) {
 				cg.e.amenable()
 			}
-			cg.e.emitf("ADD %s, %s, %s", acc, acc, v)
+			switch ex.Op {
+			case OpAdd:
+				cg.e.emitf("ADD %s, %s, %s", acc, acc, v)
+			case OpMax:
+				cg.emitMax(acc, v)
+			default:
+				return fmt.Errorf("compiler: reduce op %d unsupported", ex.Op)
+			}
 			cg.ra.release(v)
 			return nil
 		})
@@ -536,11 +545,23 @@ func (cg *codegen) evalBin(ex Bin) (isa.Reg, error) {
 			cg.e.amenable()
 		}
 		cg.e.emitf("%s %s, %s, %s", bitwiseOp(ex.Op), a, a, b)
+	case OpMax:
+		cg.emitMax(a, b)
 	default:
 		return 0, fmt.Errorf("compiler: unknown binary op %d", ex.Op)
 	}
 	cg.ra.release(b)
 	return a, nil
+}
+
+// emitMax folds the unsigned maximum of v into acc (the M0+ compare-and-
+// conditionally-move idiom; BHS is the unsigned >= branch).
+func (cg *codegen) emitMax(acc, v isa.Reg) {
+	skip := cg.e.fresh("Lmax")
+	cg.e.emitf("CMP %s, %s", acc, v)
+	cg.e.emitf("BHS %s", skip)
+	cg.e.emitf("MOV %s, %s", acc, v)
+	cg.e.placeLabel(skip)
 }
 
 // evalASPMul lowers an anytime multiply: extract the subword of the

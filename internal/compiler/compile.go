@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"whatsnext/internal/asm"
+	"whatsnext/internal/mem"
 	"whatsnext/internal/wncheck"
 )
 
@@ -16,6 +17,18 @@ type Options struct {
 	VectorLoads bool
 	// NoSkim suppresses skim-point insertion (ablation).
 	NoSkim bool
+	// MaxPasses keeps only the first (most significant) n subword passes —
+	// the compile-time form of skimming: the committed result is the
+	// n-pass approximation and the remaining passes are never emitted.
+	// Zero means all passes. Ignored in ModePrecise.
+	MaxPasses int
+	// ProgressEmbed lowers the kernel as one fused store-once pass whose
+	// output tiles carry intrinsic progress (Kernel.Progress declares the
+	// tiling): the harness pre-fills the output with the reserved sentinel
+	// (see Compiled.InstallData) and the emitted prologue scans tile
+	// markers to find the resume frontier, so restart needs no separate
+	// NVM progress state.
+	ProgressEmbed bool
 	// DisableChecks skips the post-emit static verification (and the
 	// certificate that comes with it). Only for compiler-internal tests
 	// that deliberately construct hazardous code.
@@ -37,10 +50,33 @@ type Compiled struct {
 	Cert *wncheck.Certificate
 }
 
+// InstallData installs one input sample into data memory. For
+// progress-embedded builds it first fills the progress-carrying output
+// array with the reserved sentinel, so the emitted resume scan can tell
+// committed tiles from unwritten ones; every harness (core system, fault
+// injector, experiment devices) must install inputs through this method
+// rather than raw Layout.Install calls.
+func (c *Compiled) InstallData(m *mem.Memory, inputs map[string][]int64) error {
+	if c.Options.ProgressEmbed && c.Kernel.Progress != nil {
+		if err := c.Layout.Fill(m, c.Kernel.Progress.Output, c.Kernel.Progress.Sentinel); err != nil {
+			return err
+		}
+	}
+	for name, vals := range inputs {
+		if err := c.Layout.Install(m, name, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Compile lowers a kernel under the given options.
 func Compile(k *Kernel, opts Options) (*Compiled, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.ProgressEmbed {
+		return compileProgress(k, opts)
 	}
 	var (
 		segments [][]Stmt
@@ -60,6 +96,12 @@ func Compile(k *Kernel, opts Options) (*Compiled, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.MaxPasses > 0 && opts.MaxPasses < len(segments) {
+		// Passes are ordered most significant first, so truncation keeps
+		// the passes that carry the real content.
+		segments = segments[:opts.MaxPasses]
+		numSub = opts.MaxPasses
 	}
 
 	layout, err := BuildLayout(target, opts.Mode, opts.VectorLoads)

@@ -115,6 +115,9 @@ const (
 	OpBitAnd
 	OpBitOr
 	OpBitXor
+	// OpMax is the unsigned maximum (used by pooling reductions). It is not
+	// distributive over subword decomposition, so it only lowers precisely.
+	OpMax
 )
 
 // Expr is an expression tree node.
@@ -135,11 +138,13 @@ type Bin struct {
 	A, B Expr
 }
 
-// Reduce sums Body over Var in [0,N).
+// Reduce combines Body over Var in [0,N) with Op (the zero value, OpAdd,
+// is the ordinary summation; OpMax folds the unsigned maximum).
 type Reduce struct {
 	Var  string
 	N    int64
 	Body Expr
+	Op   BinOp
 }
 
 // ASPMul is the anytime subword-pipelined multiply produced by the SWP
@@ -207,11 +212,27 @@ type Assign struct {
 func (Loop) stmtNode()   {}
 func (Assign) stmtNode() {}
 
+// ProgressInfo declares how a kernel's output encodes its own progress,
+// the Stateful-CNN idea: the body is a single top-level Loop over TileVar,
+// each iteration of which commits one output tile whose element at Marker
+// (affine in TileVar) is stored last. Under Options.ProgressEmbed the
+// prologue scans the markers for the reserved Sentinel value to locate the
+// resume frontier, so no separate NVM progress word is ever written.
+type ProgressInfo struct {
+	Output   string // output array carrying the embedded progress
+	TileVar  string // top-level tile loop variable
+	Marker   Lin    // per-tile marker element index, affine in TileVar only
+	Sentinel uint32 // reserved "not yet committed" value
+}
+
 // Kernel is a compilable unit: arrays plus a statement list.
 type Kernel struct {
 	Name   string
 	Arrays []Array
 	Body   []Stmt
+	// Progress, when non-nil, enables progress-embedded lowering
+	// (Options.ProgressEmbed); other modes ignore it.
+	Progress *ProgressInfo
 }
 
 // ArrayByName finds an array declaration.
@@ -319,6 +340,9 @@ func validateExpr(k *Kernel, e Expr, vars map[string]bool) error {
 	case Reduce:
 		if ex.N <= 0 {
 			return fmt.Errorf("compiler: reduce %q has trip count %d", ex.Var, ex.N)
+		}
+		if ex.Op != OpAdd && ex.Op != OpMax {
+			return fmt.Errorf("compiler: reduce %q: only add and max reductions are supported", ex.Var)
 		}
 		if vars[ex.Var] {
 			return fmt.Errorf("compiler: reduce variable %q shadows an outer loop", ex.Var)

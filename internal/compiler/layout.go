@@ -186,6 +186,28 @@ func (l *Layout) Install(m *mem.Memory, name string, vals []int64) error {
 	return m.WriteData(al.Base, buf)
 }
 
+// Fill writes the same raw element value into every slot of a row-major
+// array (used to pre-fill progress-embedded outputs with the reserved
+// sentinel; the value bypasses precision validation deliberately — the
+// sentinel sits outside the quantized range by construction).
+func (l *Layout) Fill(m *mem.Memory, name string, raw uint32) error {
+	al, err := l.Of(name)
+	if err != nil {
+		return err
+	}
+	if al.Planar {
+		return fmt.Errorf("compiler: cannot fill planar array %q", name)
+	}
+	buf := make([]byte, al.TotalBytes)
+	eb := al.ElemBytes()
+	for i := 0; i < al.Array.Len; i++ {
+		for b := 0; b < eb; b++ {
+			buf[i*eb+b] = byte(raw >> (8 * b))
+		}
+	}
+	return m.WriteData(al.Base, buf)
+}
+
 func (l *Layout) encodePlanar(al ArrayLayout, vals []int64, buf []byte) {
 	b := al.Array.SubwordBits
 	lpw := al.LanesPerWord()

@@ -180,6 +180,11 @@ func (t *swpRewriter) expr(e Expr) (Expr, error) {
 		}
 		return Bin{Op: ex.Op, A: a, B: b}, nil
 	case Reduce:
+		if ex.Op != OpAdd {
+			// Max folds are not distributive over subword passes; leave the
+			// reduction precise (replicated verbatim in every pass).
+			return e, nil
+		}
 		if t.vectorLoads {
 			if dot, ok, err := t.tryVectorizeReduce(ex); err != nil {
 				return nil, err

@@ -193,17 +193,33 @@ func (t *swvRewriter) rewriteAssign(as Assign) ([]Stmt, error) {
 		t.sumArrays[as.Array] = sumName
 	}
 
+	vr, err := t.vecReduce(red)
+	if err != nil {
+		return nil, err
+	}
+	acc := Assign{Array: sumName, Index: as.Index, Value: vr, Accumulate: true}
+	final := Assign{
+		Array: as.Array, Index: as.Index,
+		Value: replaceReduce(as.Value, Load{Array: sumName, Index: as.Index}),
+	}
+	return []Stmt{acc, final}, nil
+}
+
+// vecReduce builds the lane-parallel partial-sum expression for one plane
+// (t.sub selects the subword, hence the plane and the recombination shift)
+// of a unit-stride reduction over an ASV array.
+func (t *swvRewriter) vecReduce(red Reduce) (VecReduce, error) {
 	ld := red.Body.(Load)
 	if ld.Index.Coeff[red.Var] != 1 {
-		return nil, fmt.Errorf("compiler: swv: reduction over %q must have unit stride", ld.Array)
+		return VecReduce{}, fmt.Errorf("compiler: swv: reduction over %q must have unit stride", ld.Array)
 	}
 	lpw := t.lanesPerWord()
 	if red.N%lpw != 0 {
-		return nil, fmt.Errorf("compiler: swv: reduce trip %d not divisible by %d lanes", red.N, lpw)
+		return VecReduce{}, fmt.Errorf("compiler: swv: reduce trip %d not divisible by %d lanes", red.N, lpw)
 	}
 	start := Lin{Coeff: map[string]int64{}, Const: ld.Index.Const}
 	if start.Const%lpw != 0 {
-		return nil, fmt.Errorf("compiler: swv: reduction base offset not lane aligned")
+		return VecReduce{}, fmt.Errorf("compiler: swv: reduction base offset not lane aligned")
 	}
 	start.Const /= lpw
 	for v, c := range ld.Index.Coeff {
@@ -211,7 +227,7 @@ func (t *swvRewriter) rewriteAssign(as Assign) ([]Stmt, error) {
 			continue
 		}
 		if c%lpw != 0 {
-			return nil, fmt.Errorf("compiler: swv: index coefficient %d not divisible by %d", c, lpw)
+			return VecReduce{}, fmt.Errorf("compiler: swv: index coefficient %d not divisible by %d", c, lpw)
 		}
 		start.Coeff[v] = c / lpw
 	}
@@ -226,18 +242,11 @@ func (t *swvRewriter) rewriteAssign(as Assign) ([]Stmt, error) {
 	for numWords%chunk != 0 {
 		chunk--
 	}
-
-	vr := VecReduce{
+	return VecReduce{
 		Array: ld.Array, Plane: t.plane(),
 		WordStart: start, NumWords: numWords, ChunkWords: chunk,
 		LaneBits: t.laneBits, Shift: t.bits * t.sub,
-	}
-	acc := Assign{Array: sumName, Index: as.Index, Value: vr, Accumulate: true}
-	final := Assign{
-		Array: as.Array, Index: as.Index,
-		Value: replaceReduce(as.Value, Load{Array: sumName, Index: as.Index}),
-	}
-	return []Stmt{acc, final}, nil
+	}, nil
 }
 
 // findASVReduce locates the unique Reduce-over-ASV-load in an expression.
@@ -251,6 +260,9 @@ func findASVReduce(k *Kernel, e Expr) (Reduce, bool, error) {
 		a, ok := k.ArrayByName(ld.Array)
 		if !ok || a.Pragma != PragmaASV {
 			return Reduce{}, false, nil
+		}
+		if ex.Op != OpAdd {
+			return Reduce{}, false, fmt.Errorf("compiler: swv: only additive reductions vectorize")
 		}
 		return ex, true, nil
 	case Bin:

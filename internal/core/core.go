@@ -114,10 +114,8 @@ func (s *System) RunInput(inputs map[string][]int64) (intermittent.Result, error
 		return intermittent.Result{}, fmt.Errorf("core: no kernel loaded")
 	}
 	s.Mem.ZeroData()
-	for name, vals := range inputs {
-		if err := s.compiled.Layout.Install(s.Mem, name, vals); err != nil {
-			return intermittent.Result{}, err
-		}
+	if err := s.compiled.InstallData(s.Mem, inputs); err != nil {
+		return intermittent.Result{}, err
 	}
 	s.CPU.Reset()
 	s.CPU.DisarmSkim()

@@ -64,6 +64,12 @@ type Variant struct {
 	Bits        int
 	Provisioned bool
 	VectorLoads bool
+	// ProgressEmbed selects the fused store-once lowering with the
+	// Stateful-style resume scan (requires the kernel to declare
+	// Progress); MaxPasses truncates to the most significant subword
+	// passes (the NN study's accuracy-vs-energy axis).
+	ProgressEmbed bool
+	MaxPasses     int
 }
 
 // WNVariant returns the benchmark's anytime configuration at a subword
@@ -80,12 +86,14 @@ func PreciseVariant(b *workloads.Benchmark, p workloads.Params) Variant {
 // compileKey is the value identity of a Variant: two variants with equal
 // keys compile to identical programs (compilation is deterministic).
 type compileKey struct {
-	bench       string
-	params      workloads.Params
-	mode        compiler.Mode
-	bits        int
-	provisioned bool
-	vectorLoads bool
+	bench         string
+	params        workloads.Params
+	mode          compiler.Mode
+	bits          int
+	provisioned   bool
+	vectorLoads   bool
+	progressEmbed bool
+	maxPasses     int
 }
 
 // compileCache memoizes Variant.Compile. The studies compile the same
@@ -97,20 +105,24 @@ var compileCache sync.Map // compileKey -> *compiler.Compiled
 // Compile lowers the variant, reusing a prior identical compilation.
 func (v Variant) Compile() (*compiler.Compiled, error) {
 	key := compileKey{
-		bench:       v.Bench.Name,
-		params:      v.Params,
-		mode:        v.Mode,
-		bits:        v.Bits,
-		provisioned: v.Provisioned,
-		vectorLoads: v.VectorLoads,
+		bench:         v.Bench.Name,
+		params:        v.Params,
+		mode:          v.Mode,
+		bits:          v.Bits,
+		provisioned:   v.Provisioned,
+		vectorLoads:   v.VectorLoads,
+		progressEmbed: v.ProgressEmbed,
+		maxPasses:     v.MaxPasses,
 	}
 	if c, ok := compileCache.Load(key); ok {
 		return c.(*compiler.Compiled), nil
 	}
 	k := v.Bench.Build(v.Params, v.Bits, v.Provisioned)
 	c, err := compiler.Compile(k, compiler.Options{
-		Mode:        v.Mode,
-		VectorLoads: v.VectorLoads,
+		Mode:          v.Mode,
+		VectorLoads:   v.VectorLoads,
+		ProgressEmbed: v.ProgressEmbed,
+		MaxPasses:     v.MaxPasses,
 	})
 	if err != nil {
 		return nil, err
@@ -120,12 +132,20 @@ func (v Variant) Compile() (*compiler.Compiled, error) {
 }
 
 func (v Variant) String() string {
+	var s string
 	if v.Mode == compiler.ModePrecise {
-		return v.Bench.Name + "/precise"
+		s = v.Bench.Name + "/precise"
+	} else {
+		s = fmt.Sprintf("%s/%s%d", v.Bench.Name, v.Mode, v.Bits)
 	}
-	s := fmt.Sprintf("%s/%s%d", v.Bench.Name, v.Mode, v.Bits)
 	if v.VectorLoads {
 		s += "+vloads"
+	}
+	if v.MaxPasses > 0 {
+		s += fmt.Sprintf("+p%d", v.MaxPasses)
+	}
+	if v.ProgressEmbed {
+		s += "+embed"
 	}
 	return s
 }
@@ -142,10 +162,8 @@ func bareDeviceOn(m *mem.Memory, c *compiler.Compiled, inputs map[string][]int64
 	if err := m.LoadProgram(c.Program.Image); err != nil {
 		return nil, nil, err
 	}
-	for name, vals := range inputs {
-		if err := c.Layout.Install(m, name, vals); err != nil {
-			return nil, nil, err
-		}
+	if err := c.InstallData(m, inputs); err != nil {
+		return nil, nil, err
 	}
 	cp := cpu.New(m)
 	if memo {

@@ -30,6 +30,7 @@ type resolverEntry struct {
 var specResolvers = map[string]resolverEntry{
 	"table1":  {"Table I benchmark characterization, one cell per kernel", resolveTable1},
 	"speedup": {"Figure 10/11 intermittent speedup, one cell per (kernel, bits, trace, input)", resolveSpeedup},
+	"nn":      {"NN inference accuracy vs energy, one cell per (kernel, bits, input)", resolveNN},
 }
 
 // ResolvableExperiments lists the experiments whose specs ResolveSpec can

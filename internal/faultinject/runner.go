@@ -33,14 +33,9 @@ func FromCompiled(name string, c *compiler.Compiled, inputs map[string][]int64) 
 		Name:     name,
 		Image:    c.Program.Image,
 		Amenable: c.Program.Amenable,
-		Install: func(m *mem.Memory) error {
-			for in, vals := range inputs {
-				if err := c.Layout.Install(m, in, vals); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
+		// InstallData also pre-fills progress-embedded outputs with their
+		// sentinel, so every injected run starts from the same resumable state.
+		Install: func(m *mem.Memory) error { return c.InstallData(m, inputs) },
 	}
 }
 

@@ -1,0 +1,154 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSaturationAtBothRails pins the exact clamp values at and beyond both
+// representable extremes, for signed and unsigned formats — the NN weight
+// quantization relies on out-of-range floats landing exactly on the rail.
+func TestSaturationAtBothRails(t *testing.T) {
+	uq := Q{IntBits: 0, FracBits: 6} // the NNFC weight format, UQ0.6
+	if got := uq.FromFloat(uq.Max()); got != 63 {
+		t.Errorf("UQ0.6 at the upper rail: %d, want 63", got)
+	}
+	for _, v := range []float64{1.0, 2.0, 1e18, math.Inf(1)} {
+		if got := uq.FromFloat(v); got != 63 {
+			t.Errorf("UQ0.6 beyond the upper rail (%v): %d, want 63", v, got)
+		}
+	}
+	for _, v := range []float64{0, -0.001, -5, math.Inf(-1)} {
+		if got := uq.FromFloat(v); got != 0 {
+			t.Errorf("UQ0.6 at/below the lower rail (%v): %d, want 0", v, got)
+		}
+	}
+
+	sq := Q{IntBits: 3, FracBits: 4, Signed: true}
+	if got := sq.FromFloat(1e18); got != 127 {
+		t.Errorf("Q3.4 beyond the upper rail: %d, want 127", got)
+	}
+	if got := sq.FromFloat(-1e18); got != -128 {
+		t.Errorf("Q3.4 beyond the lower rail: %d, want -128", got)
+	}
+	if got := sq.FromFloat(sq.Min()); got != -128 {
+		t.Errorf("Q3.4 at its own Min(): %d, want -128", got)
+	}
+	// One LSB inside each rail must NOT clamp.
+	if got := sq.FromFloat(sq.Max() - 1.0/16); got != 126 {
+		t.Errorf("Q3.4 one LSB under the rail: %d, want 126", got)
+	}
+	if got := sq.FromFloat(sq.Min() + 1.0/16); got != -127 {
+		t.Errorf("Q3.4 one LSB over the lower rail: %d, want -127", got)
+	}
+}
+
+// TestRoundHalfAwayFromZero pins the tie-breaking of FromFloat: exact
+// half-LSB values round away from zero (math.Round semantics), in both
+// directions, so quantization is symmetric around zero.
+func TestRoundHalfAwayFromZero(t *testing.T) {
+	q := Q{IntBits: 7, FracBits: 1, Signed: true}
+	cases := []struct {
+		v    float64
+		want int64
+	}{
+		{0.25, 1},   // +half LSB rounds up
+		{-0.25, -1}, // -half LSB rounds down (away from zero)
+		{0.75, 2},   // not banker's rounding: 1.5 -> 2
+		{1.25, 3},   // 2.5 -> 3, away from zero again
+		{-0.75, -2},
+		{0.249, 0}, // just under the tie truncates
+		{-0.249, 0},
+	}
+	for _, c := range cases {
+		if got := q.FromFloat(c.v); got != c.want {
+			t.Errorf("Q7.1 FromFloat(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestNarrowestWidths exercises the degenerate formats: a single unsigned
+// bit, a sign-only signed format, and fraction-only formats.
+func TestNarrowestWidths(t *testing.T) {
+	u1 := Q{IntBits: 1, FracBits: 0}
+	if u1.Bits() != 1 || u1.One() != 1 || u1.Max() != 1 || u1.Min() != 0 {
+		t.Fatalf("UQ1.0 basics wrong: bits=%d one=%d max=%v min=%v", u1.Bits(), u1.One(), u1.Max(), u1.Min())
+	}
+	if got := u1.FromFloat(0.5); got != 1 { // half rounds away from zero
+		t.Errorf("UQ1.0 FromFloat(0.5) = %d, want 1", got)
+	}
+	if got := u1.FromFloat(7); got != 1 {
+		t.Errorf("UQ1.0 FromFloat(7) = %d, want 1", got)
+	}
+
+	// Sign-only: representable values are exactly {-1, 0}.
+	s0 := Q{IntBits: 0, FracBits: 0, Signed: true}
+	if s0.Bits() != 1 || s0.Max() != 0 || s0.Min() != -1 {
+		t.Fatalf("Q0.0 basics wrong: bits=%d max=%v min=%v", s0.Bits(), s0.Max(), s0.Min())
+	}
+	if got := s0.FromFloat(0.9); got != 0 {
+		t.Errorf("Q0.0 FromFloat(0.9) = %d, want 0 (saturated)", got)
+	}
+	if got := s0.FromFloat(-0.9); got != -1 {
+		t.Errorf("Q0.0 FromFloat(-0.9) = %d, want -1", got)
+	}
+
+	// Fraction-only: quantization error bounded by half an LSB inside range.
+	f3 := Q{IntBits: 0, FracBits: 3}
+	for v := 0.0; v < f3.Max(); v += 0.01 {
+		if e := math.Abs(f3.Quantize(v) - v); e > 1.0/16+1e-12 {
+			t.Fatalf("UQ0.3 quantize(%v) error %v exceeds half LSB", v, e)
+		}
+	}
+}
+
+// TestMulFloorsNegativeProducts pins that fixed-point Mul truncates via an
+// arithmetic right shift — flooring, not rounding toward zero — exactly
+// like the hardware shift in the generated kernels.
+func TestMulFloorsNegativeProducts(t *testing.T) {
+	q := Q{IntBits: 7, FracBits: 1, Signed: true}
+	// (-3) * 1 in raw units = -3; >>1 floors to -2, not -1.
+	if got := q.Mul(-3, q.One()); got != -3 {
+		t.Errorf("Mul(-3, one) = %d, want -3", got)
+	}
+	if got := q.Mul(-3, 1); got != -2 {
+		t.Errorf("Mul(-3, half) = %d, want -2 (floored)", got)
+	}
+	if got := q.Mul(3, 1); got != 1 {
+		t.Errorf("Mul(3, half) = %d, want 1 (truncated)", got)
+	}
+}
+
+// TestNormalizeWeightsEdges exercises the residue spreading at its limits:
+// a single weight takes the whole target, tiny weights are floored to 1,
+// and an impossible target (fewer units than weights) is an error.
+func TestNormalizeWeightsEdges(t *testing.T) {
+	one, err := NormalizeWeights([]float64{3.7}, 4)
+	if err != nil || len(one) != 1 || one[0] != 16 {
+		t.Errorf("single weight: %v, %v; want [16]", one, err)
+	}
+
+	ws := []float64{1e-12, 1e-12, 1}
+	out, err := NormalizeWeights(ws, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i, w := range out {
+		if w < 1 {
+			t.Errorf("weight %d floored below 1: %d", i, w)
+		}
+		sum += w
+	}
+	if sum != 8 {
+		t.Errorf("weights sum to %d, want 8", sum)
+	}
+
+	if _, err := NormalizeWeights(make([]float64, 8, 8), 2); err == nil {
+		t.Error("zero-sum weights did not error")
+	}
+	eight := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if _, err := NormalizeWeights(eight, 2); err == nil {
+		t.Error("8 weights into 4 units did not error")
+	}
+}

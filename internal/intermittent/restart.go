@@ -1,0 +1,66 @@
+package intermittent
+
+import "whatsnext/internal/cpu"
+
+// RestartConfig parameterizes the restart-from-entry runtime.
+type RestartConfig struct {
+	// RestoreCycles is the boot cost charged on every power restore.
+	RestoreCycles uint32
+}
+
+// DefaultRestartConfig matches the other runtimes' restore figure.
+func DefaultRestartConfig() RestartConfig { return RestartConfig{RestoreCycles: 40} }
+
+// Restart is the zero-hardware runtime for progress-embedded programs: it
+// takes no checkpoints, writes no NVM state of its own, and on every power
+// restore simply resets the core to the program entry point. Forward
+// progress across outages is possible only because a progress-embedded
+// build rediscovers its frontier by scanning the committed output features
+// in NVM — which is exactly the property the NN fault-injection campaigns
+// certify. Running a conventional multi-pass anytime build under Restart
+// diverges (re-accumulating completed passes), which the negative tests
+// witness.
+//
+// Restart deliberately does not implement ForkablePolicy/ReplayDistancer:
+// the replay distance after a restart is the full prefix, so lockstep
+// campaigns route through the naive engine.
+type Restart struct {
+	cfg RestartConfig
+	r   *Runner
+
+	Restores uint64
+}
+
+// NewRestart builds the policy.
+func NewRestart(cfg RestartConfig) *Restart { return &Restart{cfg: cfg} }
+
+// Name implements Policy.
+func (p *Restart) Name() string { return "restart" }
+
+// Checkpoints implements Policy: there are never any.
+func (p *Restart) Checkpoints() uint64 { return 0 }
+
+// Attach implements Policy: nothing to prepare, nothing to track.
+func (p *Restart) Attach(r *Runner) { p.r = r }
+
+// BatchHorizon implements Policy: no watchdog, no tracking — the batched
+// executor may run arbitrarily far.
+func (p *Restart) BatchHorizon() (uint64, float64) { return 1 << 62, 0 }
+
+// AfterStep implements Policy: no per-instruction overhead.
+func (p *Restart) AfterStep(cpu.Cost) (uint32, float64) { return 0, 0 }
+
+// OnOutage implements Policy: volatile state is destroyed.
+func (p *Restart) OnOutage() {
+	p.r.CPU.PowerLoss()
+	p.r.Mem.PowerLoss()
+}
+
+// OnRestore implements Policy: reboot from the entry point. The armed skim
+// state (if any) is ignored — a restart runtime has no restore path that
+// could consume it.
+func (p *Restart) OnRestore() (uint32, float64) {
+	p.r.CPU.Reset()
+	p.Restores++
+	return p.cfg.RestoreCycles, 0
+}

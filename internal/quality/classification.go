@@ -1,0 +1,77 @@
+package quality
+
+import "fmt"
+
+// Argmax returns the index of the largest element (ties break to the
+// lowest index, the usual classifier convention). Empty input returns -1.
+func Argmax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Top1Agree returns the fraction (in percent) of classification groups
+// whose argmax agrees between got and want: the slices are split into
+// consecutive groups of 'classes' logits each, and a group scores when
+// both pick the same class. This is the NN study's accuracy proxy — the
+// quantized network agrees with the exact network on the label even when
+// the logits themselves drift.
+func Top1Agree(got, want []float64, classes int) float64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("quality: length mismatch %d vs %d", len(got), len(want)))
+	}
+	if classes <= 0 || len(want)%classes != 0 {
+		panic(fmt.Sprintf("quality: %d logits do not split into groups of %d", len(want), classes))
+	}
+	groups := len(want) / classes
+	if groups == 0 {
+		return 100
+	}
+	agree := 0
+	for g := 0; g < groups; g++ {
+		lo, hi := g*classes, (g+1)*classes
+		if Argmax(got[lo:hi]) == Argmax(want[lo:hi]) {
+			agree++
+		}
+	}
+	return 100 * float64(agree) / float64(groups)
+}
+
+// TileExactMatch returns the fraction (in percent) of consecutive
+// 'tile'-sized output tiles that match the reference bit-exactly — the
+// tile-level commit granularity of the progress-embedded NN kernels, so
+// a mid-layer power failure that corrupts even one committed tile shows
+// up here as a fractional score.
+func TileExactMatch(got, want []float64, tile int) float64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("quality: length mismatch %d vs %d", len(got), len(want)))
+	}
+	if tile <= 0 || len(want)%tile != 0 {
+		panic(fmt.Sprintf("quality: %d elements do not split into tiles of %d", len(want), tile))
+	}
+	tiles := len(want) / tile
+	if tiles == 0 {
+		return 100
+	}
+	exact := 0
+	for t := 0; t < tiles; t++ {
+		match := true
+		for i := t * tile; i < (t+1)*tile; i++ {
+			if got[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			exact++
+		}
+	}
+	return 100 * float64(exact) / float64(tiles)
+}

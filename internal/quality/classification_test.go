@@ -1,0 +1,77 @@
+package quality
+
+import "testing"
+
+func TestArgmax(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{5}, 0},
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{2, 2, 2}, 0}, // ties break low
+		{[]float64{0, 1, 1}, 1}, // first of the tied maxima
+		{[]float64{-3, -1, -2}, 1},
+	}
+	for _, c := range cases {
+		if got := Argmax(c.xs); got != c.want {
+			t.Errorf("Argmax(%v) = %d, want %d", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestTop1Agree(t *testing.T) {
+	want := []float64{1, 9, 2, 7, 3, 1} // argmax per group of 3: 1, 0
+	same := []float64{0, 5, 1, 9, 2, 0} // same argmaxes, different logits
+	if got := Top1Agree(same, want, 3); got != 100 {
+		t.Errorf("agreeing argmaxes scored %v, want 100", got)
+	}
+	half := []float64{9, 5, 1, 9, 2, 0} // first group flips to class 0
+	if got := Top1Agree(half, want, 3); got != 50 {
+		t.Errorf("half agreement scored %v, want 50", got)
+	}
+	if got := Top1Agree(want, want, 6); got != 100 {
+		t.Errorf("self agreement scored %v, want 100", got)
+	}
+}
+
+func TestTop1AgreePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length":  func() { Top1Agree([]float64{1}, []float64{1, 2}, 1) },
+		"divide":  func() { Top1Agree(make([]float64, 4), make([]float64, 4), 3) },
+		"classes": func() { Top1Agree(nil, nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTileExactMatch(t *testing.T) {
+	want := []float64{1, 2, 3, 4, 5, 6}
+	if got := TileExactMatch(want, want, 2); got != 100 {
+		t.Errorf("identical tiles scored %v, want 100", got)
+	}
+	oneOff := []float64{1, 2, 3, 9, 5, 6} // corrupts tile 1 of 3
+	if got := TileExactMatch(oneOff, want, 2); got < 66.6 || got > 66.7 {
+		t.Errorf("2/3 tiles scored %v, want ~66.67", got)
+	}
+	if got := TileExactMatch(oneOff, want, 6); got != 0 {
+		t.Errorf("whole-output tile scored %v, want 0", got)
+	}
+}
+
+func TestTileExactMatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-dividing tile size did not panic")
+		}
+	}()
+	TileExactMatch(make([]float64, 5), make([]float64, 5), 2)
+}

@@ -8,6 +8,7 @@ import (
 
 	"whatsnext/internal/asm"
 	"whatsnext/internal/compiler"
+	"whatsnext/internal/nn"
 	"whatsnext/internal/wncheck"
 	"whatsnext/internal/workloads"
 )
@@ -46,6 +47,49 @@ func TestBenchmarksClean(t *testing.T) {
 				t.Errorf("%s %+v: %d diagnostics on generated code:", b.Name, opts, n)
 				for _, d := range res.Diags {
 					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}
+
+// TestNNKernelsClean extends the clean sweep to the NN inference family:
+// every emitted NN image — precise and anytime, with and without the
+// progress-embedding lowering, including the single-pass truncated builds
+// the accuracy-vs-energy study sweeps — must carry zero warning-severity
+// findings. The progress-embedded images include the resume-scan prologue,
+// so this pins its crash-consistency cleanliness statically.
+func TestNNKernelsClean(t *testing.T) {
+	for _, b := range nn.All() {
+		variants := []compiler.Options{
+			{Mode: compiler.ModePrecise},
+			{Mode: compiler.ModePrecise, ProgressEmbed: true},
+		}
+		if b.Mode != compiler.ModePrecise {
+			variants = append(variants,
+				compiler.Options{Mode: b.Mode},
+				compiler.Options{Mode: b.Mode, ProgressEmbed: true},
+				compiler.Options{Mode: b.Mode, ProgressEmbed: true, MaxPasses: 1},
+			)
+		}
+		for _, bits := range []int{8, 4, 2} {
+			for _, opts := range variants {
+				k := b.Build(b.ScaledParams(), bits, true)
+				c, err := compiler.Compile(k, opts)
+				if err != nil {
+					t.Errorf("%s bits=%d %+v: %v", b.Name, bits, opts, err)
+					continue
+				}
+				res, err := wncheck.Check(c.Program, wncheck.Options{})
+				if err != nil {
+					t.Errorf("%s bits=%d %+v: check: %v", b.Name, bits, opts, err)
+					continue
+				}
+				if n := res.Count(wncheck.Warning); n > 0 {
+					t.Errorf("%s bits=%d %+v: %d diagnostics on generated code:", b.Name, bits, opts, n)
+					for _, d := range res.Diags {
+						t.Errorf("  %s", d)
+					}
 				}
 			}
 		}

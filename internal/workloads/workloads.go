@@ -53,10 +53,23 @@ func All() []*Benchmark {
 	}
 }
 
-// ByName finds a benchmark by its Table I name, or one of the extension
-// workloads ("Mask").
+// extensions holds benchmark families registered from other packages (the
+// NN inference family in internal/nn registers itself here from init, so
+// every resolver that looks benchmarks up by name can serve them without
+// an import cycle).
+var extensions []*Benchmark
+
+// RegisterExtension adds externally defined benchmarks to the ByName
+// registry. Call from init only; registration order must be deterministic.
+func RegisterExtension(bs ...*Benchmark) { extensions = append(extensions, bs...) }
+
+// Extensions returns the registered extension benchmarks.
+func Extensions() []*Benchmark { return append([]*Benchmark(nil), extensions...) }
+
+// ByName finds a benchmark by its Table I name, one of the extension
+// workloads ("Mask"), or a registered extension family.
 func ByName(name string) (*Benchmark, error) {
-	for _, b := range append(All(), MaskExtension()) {
+	for _, b := range append(append(All(), MaskExtension()), extensions...) {
 		if b.Name == name {
 			return b, nil
 		}
