@@ -81,6 +81,7 @@ var registry = []expEntry{
 	{"ablation", "Ablations: skim points, watchdog interval, capacitor size, memo capacity, consistency mechanisms", runAblation},
 	{"env", "Extension: harvest environments (Wi-Fi, solar, thermal, motion)", runEnv},
 	{"faults", "Fault injection: strided power failures over the Table I kernels under Clank and NVP", runFaults},
+	{"progress", "Forward-progress certification: static per-region WCEC vs measured commit gaps, minimum viable capacitor", runProgress},
 	{"nn", "NN inference: accuracy vs energy across subword widths (progress-embedded kernels)", runNN},
 	{"areapower", "Section V-D: synthesis area/power/Fmax model", runAreaPower},
 }
@@ -424,6 +425,18 @@ func runFaults(c *runCtx) error {
 	if !experiments.FaultsClean(rows) {
 		return fmt.Errorf("fault injection witnessed crash-consistency divergences")
 	}
+	return nil
+}
+
+// runProgress runs locally (no sweep cells): each row is one compile plus
+// one golden run, and the study fails the invocation if any dynamic gap
+// exceeds its certified static bound.
+func runProgress(c *runCtx) error {
+	rows, err := experiments.ProgressStudy(c.proto)
+	if err != nil {
+		return err
+	}
+	experiments.PrintProgress(c.w, rows)
 	return nil
 }
 

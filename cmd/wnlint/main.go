@@ -3,7 +3,10 @@
 // It assembles each .s argument (or loads each .bin as a raw image), runs
 // the internal/wncheck verifier over it, and prints one diagnostic per line
 // in file:line: form. -crash adds the crash-consistency analysis (WN103 —
-// WN108); -input declares sensor/IO address ranges so the repeated-input
+// WN108); -wcec adds the forward-progress certification (WN201 — WN203:
+// loop bounds, per-region worst-case energy cycles, livelock extents) and
+// -budget N additionally enforces N cycles as the per-region ceiling
+// (WN202); -input declares sensor/IO address ranges so the repeated-input
 // rule (WN105) has a world model to check against; -only restricts the
 // region-carrying diagnostics to a code list. -json switches to
 // machine-readable output (one JSON array of findings on stdout), -sarif to
@@ -18,7 +21,7 @@
 //
 // Usage:
 //
-//	wnlint [-info] [-crash] [-json|-sarif|-cert] [-faults N]
+//	wnlint [-info] [-crash] [-wcec] [-budget N] [-json|-sarif|-cert] [-faults N]
 //	       [-skim auto|require|off] [-disable WN101,WN401] [-only WN106]
 //	       [-input lo:hi,...] [-stats] file.s ...
 package main
@@ -54,6 +57,8 @@ func main() {
 	fs := flag.NewFlagSet("wnlint", flag.ExitOnError)
 	info := fs.Bool("info", false, "also report info-severity findings (WN102, WN901, WN902)")
 	crash := fs.Bool("crash", false, "run the crash-consistency analysis (WN103 — WN108)")
+	wcec := fs.Bool("wcec", false, "run the forward-progress certification (WN201 — WN203)")
+	budget := fs.Uint64("budget", 0, "per-region worst-case cycle ceiling enforced by WN202 (implies -wcec; 0 = off)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text")
 	certOut := fs.Bool("cert", false, "emit each file's verification certificate (JSON) instead of findings")
@@ -64,7 +69,7 @@ func main() {
 	input := fs.String("input", "", "comma-separated input (sensor/IO) address ranges lo:hi for WN105")
 	stats := fs.Bool("stats", false, "print per-file analysis statistics")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: wnlint [-info] [-crash] [-json|-sarif|-cert] [-faults N] [-skim auto|require|off] [-disable codes] [-only codes] [-input lo:hi,...] [-stats] file.s|file.bin ...")
+		fmt.Fprintln(os.Stderr, "usage: wnlint [-info] [-crash] [-wcec] [-budget N] [-json|-sarif|-cert] [-faults N] [-skim auto|require|off] [-disable codes] [-only codes] [-input lo:hi,...] [-stats] file.s|file.bin ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -85,7 +90,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := wncheck.Options{Info: *info, Crash: *crash}
+	opts := wncheck.Options{Info: *info, Crash: *crash,
+		Progress: *wcec || *budget > 0, Budget: *budget}
 	switch *skim {
 	case "auto":
 		opts.Skim = wncheck.SkimAuto

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, src string) []finding {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lintFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func msgs(fs []finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.msg)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestFlagsTimeNowAndSince(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+import "time"
+
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(fs), msgs(fs))
+	}
+	if !strings.Contains(fs[0].msg, "time.Now") || !strings.Contains(fs[1].msg, "time.Since") {
+		t.Errorf("unexpected messages:\n%s", msgs(fs))
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //wnvet:allow metrics only
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("allow directive ignored:\n%s", msgs(fs))
+	}
+}
+
+func TestFlagsRenamedTimeImport(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+import clock "time"
+
+func f() clock.Time { return clock.Now() }
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "clock.Now") {
+		t.Fatalf("renamed import not tracked:\n%s", msgs(fs))
+	}
+}
+
+func TestIgnoresShadowedTime(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func f() int {
+	var time clock
+	return time.Now()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("shadowed identifier flagged:\n%s", msgs(fs))
+	}
+}
+
+func TestFlagsMathRandImport(t *testing.T) {
+	for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+		fs := lintSrc(t, `package p
+
+import "`+pkg+`"
+
+var x = rand.Int()
+`)
+		if len(fs) != 1 || !strings.Contains(fs[0].msg, pkg) {
+			t.Fatalf("%s import not flagged:\n%s", pkg, msgs(fs))
+		}
+	}
+}
+
+func TestFlagsMapRangePrinting(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+import "fmt"
+
+func f() {
+	m := make(map[string]int)
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "iteration order") {
+		t.Fatalf("map-range printing not flagged:\n%s", msgs(fs))
+	}
+}
+
+func TestMapRangeWithoutOutputClean(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+func f() int {
+	m := map[string]int{"a": 1}
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("order-insensitive map range flagged:\n%s", msgs(fs))
+	}
+}
+
+func TestSliceRangePrintingClean(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+import "fmt"
+
+func f() {
+	s := []int{1, 2}
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("slice range flagged as map:\n%s", msgs(fs))
+	}
+}
+
+func TestVarDeclMapTracked(t *testing.T) {
+	fs := lintSrc(t, `package p
+
+import "fmt"
+
+var reg map[string]int
+
+func f() {
+	for k := range reg {
+		fmt.Println(k)
+	}
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("var-declared map not tracked:\n%s", msgs(fs))
+	}
+}
+
+// TestRepoPackagesClean pins the invariant the CI lint job enforces: the
+// determinism-critical packages carry no unwaived findings.
+func TestRepoPackagesClean(t *testing.T) {
+	for _, dir := range defaultDirs {
+		fs, err := lintDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != 0 {
+			t.Errorf("%s:\n%s", dir, msgs(fs))
+		}
+	}
+}

@@ -15,10 +15,18 @@
 //	    BNE  loop
 //	    HALT
 //	.amenable                   ; mark the next instruction WN-amenable
+//	.bound 64                   ; assert the loop containing the next
+//	                            ; instruction iterates at most 64 times
 //	.word 0xDEADBEEF            ; raw data word in code memory
 //
 // Labels in branch positions assemble to PC-relative offsets; the SKM
 // operand assembles to an absolute code address.
+//
+// .bound is an assumption consumed by the wncheck forward-progress
+// analysis: when a loop's trip count cannot be inferred statically, the
+// directive supplies the worst case and the verification certificate
+// records it as an assumption. The bound attaches to the innermost loop
+// containing the annotated instruction.
 package asm
 
 import (
@@ -36,6 +44,7 @@ type Program struct {
 	Image    []byte            // encoded instructions, loadable at mem.CodeBase
 	Labels   map[string]uint32 // label name -> absolute byte address
 	Amenable []uint32          // absolute addresses of WN-amenable instructions
+	Bounds   map[uint32]uint64 // .bound trip-count assertions by instruction address
 	Source   []string          // one source line per instruction word (for diagnostics)
 	Lines    []int             // 1-based source line per instruction word (for diagnostics)
 	File     string            // source file name, when assembled via AssembleNamed
@@ -73,6 +82,7 @@ type item struct {
 	line     int
 	text     string
 	amenable bool
+	bound    uint64 // .bound trip assertion; 0 = none
 	rawWord  uint32
 	isRaw    bool
 }
@@ -101,6 +111,7 @@ func Assemble(src string) (*Program, error) {
 
 	// Pass 1: strip comments, collect labels, list instruction items.
 	pendingAmenable := false
+	pendingBound := uint64(0)
 	for ln, raw := range lines {
 		line := raw
 		if i := strings.IndexAny(line, ";@"); i >= 0 {
@@ -128,6 +139,13 @@ func Assemble(src string) (*Program, error) {
 		switch {
 		case strings.HasPrefix(line, ".amenable"):
 			pendingAmenable = true
+		case strings.HasPrefix(line, ".bound"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ".bound"))
+			v, err := strconv.ParseUint(arg, 0, 64)
+			if err != nil || v == 0 {
+				return nil, errf(ln+1, "bad .bound operand %q: want a positive trip count", arg)
+			}
+			pendingBound = v
 		case strings.HasPrefix(line, ".word"):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, ".word"))
 			v, err := parseUint32(arg)
@@ -138,8 +156,9 @@ func Assemble(src string) (*Program, error) {
 		case strings.HasPrefix(line, "."):
 			return nil, errf(ln+1, "unknown directive %q", line)
 		default:
-			items = append(items, item{line: ln + 1, text: line, amenable: pendingAmenable})
+			items = append(items, item{line: ln + 1, text: line, amenable: pendingAmenable, bound: pendingBound})
 			pendingAmenable = false
+			pendingBound = 0
 		}
 	}
 
@@ -163,6 +182,12 @@ func Assemble(src string) (*Program, error) {
 		}
 		if it.amenable {
 			p.Amenable = append(p.Amenable, addr)
+		}
+		if it.bound != 0 {
+			if p.Bounds == nil {
+				p.Bounds = make(map[uint32]uint64)
+			}
+			p.Bounds[addr] = it.bound
 		}
 		p.Image = appendWord(p.Image, uint32(w))
 		p.Source = append(p.Source, it.text)

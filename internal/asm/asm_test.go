@@ -144,6 +144,29 @@ func TestAmenableDirective(t *testing.T) {
 	}
 }
 
+func TestBoundDirective(t *testing.T) {
+	p := mustAssemble(t, `
+		MOVI R0, #8
+	loop:
+		.bound 0x40
+		SUBIS R0, R0, #1
+		BNE loop
+		HALT
+	`)
+	if len(p.Bounds) != 1 {
+		t.Fatalf("bounds = %v, want one entry", p.Bounds)
+	}
+	addr := uint32(mem.CodeBase + 1*isa.InstBytes)
+	if p.Bounds[addr] != 0x40 {
+		t.Errorf("Bounds[%#x] = %d, want 64", addr, p.Bounds[addr])
+	}
+	for _, bad := range []string{".bound", ".bound 0", ".bound -3", ".bound lots"} {
+		if _, err := Assemble(bad + "\n HALT"); err == nil {
+			t.Errorf("%q: expected an error", bad)
+		}
+	}
+}
+
 func TestWordDirective(t *testing.T) {
 	p := mustAssemble(t, `
 		.word 0xDEADBEEF

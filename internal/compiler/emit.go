@@ -25,6 +25,14 @@ func (e *emitter) amenable() {
 	e.b.WriteString(".amenable\n")
 }
 
+// bound annotates the next emitted instruction's innermost loop with a
+// static trip bound, for loops whose counter the verifier cannot infer
+// (e.g. the progress-embedded resume loop, whose remaining-trip count is
+// loaded from the non-volatile marker scan).
+func (e *emitter) bound(n int64) {
+	fmt.Fprintf(&e.b, ".bound %d\n", n)
+}
+
 func (e *emitter) placeLabel(l string) {
 	fmt.Fprintf(&e.b, "%s:\n", l)
 }
@@ -67,7 +75,7 @@ func (ra *regalloc) release(r isa.Reg) {
 // Error-severity findings in generated code are compiler bugs, so they fail
 // the compilation; warnings and info findings are left to wnlint.
 func verifyEmitted(name string, prog *asm.Program) (*wncheck.Certificate, error) {
-	res, cert, err := wncheck.Verify(prog, wncheck.Options{Crash: true})
+	res, cert, err := wncheck.Verify(prog, wncheck.Options{Crash: true, Progress: true})
 	if err != nil {
 		return nil, fmt.Errorf("compiler: %s: verifying generated code: %w", name, err)
 	}

@@ -423,6 +423,10 @@ func (cg *codegen) genProgressSegment(seg []Stmt, pi *ProgressInfo, endLabel str
 	// counter. No pointer rewind afterwards: HALT follows immediately.
 	body := cg.e.fresh("L" + lp.Var)
 	cg.e.placeLabel(body)
+	// The remaining-trip counter came from the marker scan, not a constant,
+	// so the verifier cannot infer this loop's trips; the full tile count is
+	// a sound upper bound.
+	cg.e.bound(lp.N)
 	if err := cg.genStmts(lp.Body); err != nil {
 		return err
 	}

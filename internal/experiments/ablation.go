@@ -175,7 +175,7 @@ func runWatchdogPoint(b *workloads.Benchmark, p workloads.Params, wd uint64) (Wa
 	if err := sys.Load(precise); err != nil {
 		return WatchdogRow{}, err
 	}
-	sys.Runner.MaxCycles = livelockBudget
+	sys.Runner.MaxCycles = certifiedBudget(precise)
 	res, err := sys.RunInput(in)
 	row := WatchdogRow{WatchdogCycles: wd, PreciseCycles: res.TotalCycles(), Checkpoints: res.Checkpoints}
 	switch err {
@@ -188,9 +188,22 @@ func runWatchdogPoint(b *workloads.Benchmark, p workloads.Params, wd uint64) (Wa
 	return row, nil
 }
 
-// livelockBudget bounds runs that cannot make forward progress (active
-// cycles far beyond any completing configuration).
+// livelockBudget is the blind fallback bound for runs that cannot make
+// forward progress, used only when a kernel's certificate carries no finite
+// whole-run WCEC.
 const livelockBudget = 50_000_000
+
+// certifiedBudget derives the runaway guard from the kernel's
+// forward-progress certificate: 64x the certified whole-run WCEC plus
+// slack. The factor absorbs runtime overhead charges and outage replay
+// (each recharge re-executes at most one region), while detecting a
+// genuine livelock orders of magnitude sooner than the blind constant.
+func certifiedBudget(c *compiler.Compiled) uint64 {
+	if c != nil && c.Cert != nil && c.Cert.Progress != nil && c.Cert.Progress.TotalFinite {
+		return 64*c.Cert.Progress.TotalWCEC + 65536
+	}
+	return livelockBudget
+}
 
 // PrintWatchdogSweep renders the sweep.
 func PrintWatchdogSweep(w io.Writer, rows []WatchdogRow) {
@@ -262,7 +275,7 @@ func runCapacitorPoint(b *workloads.Benchmark, p workloads.Params, uf float64) (
 		if err := sys.Load(c); err != nil {
 			return 0, nil, err
 		}
-		sys.Runner.MaxCycles = livelockBudget
+		sys.Runner.MaxCycles = certifiedBudget(c)
 		res, err := sys.RunInput(in)
 		if err != nil {
 			return 0, nil, err
@@ -463,7 +476,7 @@ func runConsistencyPoint(b *workloads.Benchmark, p workloads.Params, proc core.P
 		if err := sys.Load(c); err != nil {
 			return 0, 0, err
 		}
-		sys.Runner.MaxCycles = livelockBudget
+		sys.Runner.MaxCycles = certifiedBudget(c)
 		res, err := sys.RunInput(in)
 		if err != nil {
 			return 0, 0, err

@@ -72,12 +72,25 @@ type CrossReport struct {
 	// region's first witness. Expected for real hazards (many kills in the
 	// window diverge); never a soundness problem.
 	Residual int
+
+	// ProgressChecked is true when the certificate carried a finite
+	// forward-progress bound, enabling the static-vs-dynamic comparison.
+	ProgressChecked bool
+	// MaxCommitGap is the dynamic maximum cycle distance between
+	// consecutive commit boundaries (run start, each executed skim point,
+	// halt) observed in the golden run.
+	MaxCommitGap uint64
+	// StaticRegionBound is the certificate's per-region WCEC bound; the
+	// dynamic gap exceeding it is a ProgressViolation — the analyzer's
+	// worst case was not an upper bound.
+	StaticRegionBound uint64
+	ProgressViolation bool
 }
 
 // Validated reports whether both directions of the contract held: no
 // divergence in proven territory, and every flagged region witnessed.
 func (r *CrossReport) Validated() bool {
-	if len(r.Violations) > 0 {
+	if len(r.Violations) > 0 || r.ProgressViolation {
 		return false
 	}
 	for _, o := range r.Outcomes {
@@ -107,6 +120,26 @@ type goldenWorld struct {
 	costs  []cpu.Cost
 	cycles uint64
 	data   []byte
+	// maxCommitGap is the largest cycle distance between consecutive
+	// commit boundaries: run start, each executed skim point (whose own
+	// cost is charged to the region it ends), and halt.
+	maxCommitGap uint64
+}
+
+// GoldenProgress measures the dynamic forward-progress profile of one
+// uninterrupted run: the maximum cycle gap between consecutive commit
+// boundaries (run start, each executed skim point, halt) and the total
+// cycle count. This is the dynamic half of the per-region WCEC contract —
+// the gap must never exceed the certificate's static region bound.
+func GoldenProgress(t Target, cfg Config) (maxGap, total uint64, err error) {
+	if cfg.Mem == (mem.Config{}) {
+		cfg.Mem = mem.DefaultConfig()
+	}
+	g, err := goldenRun(t, cfg, nil, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return g.maxCommitGap, g.cycles, nil
 }
 
 // goldenRun executes the target uninterrupted on a bare CPU — no policy, so
@@ -156,6 +189,27 @@ func goldenRun(t Target, cfg Config, inputWords []uint32, bump uint32) (*goldenW
 	g.data = make([]byte, cfg.Mem.DataBytes)
 	if err := m.ReadData(mem.DataBase, g.data); err != nil {
 		return nil, err
+	}
+
+	// Measure the dynamic commit gaps against the instruction image: a
+	// boundary falls after every executed SKM, plus run start and halt.
+	var gap uint64
+	for i, pc := range g.pcs {
+		gap += uint64(g.costs[i].Cycles)
+		off := int(pc - mem.CodeBase)
+		if off >= 0 && off+4 <= len(t.Image) {
+			w := uint32(t.Image[off]) | uint32(t.Image[off+1])<<8 |
+				uint32(t.Image[off+2])<<16 | uint32(t.Image[off+3])<<24
+			if in, err := isa.Decode(isa.Word(w)); err == nil && in.Op == isa.OpSkm {
+				if gap > g.maxCommitGap {
+					g.maxCommitGap = gap
+				}
+				gap = 0
+			}
+		}
+	}
+	if gap > g.maxCommitGap {
+		g.maxCommitGap = gap
 	}
 	return g, nil
 }
@@ -227,6 +281,14 @@ func CrossValidate(t Target, cfg CrossConfig, cert *wncheck.Certificate) (*Cross
 		Policy:       cfg.Policy().Name(),
 		GoldenCycles: world0.cycles,
 		Worlds:       len(goldens),
+		MaxCommitGap: world0.maxCommitGap,
+	}
+	// Forward-progress direction of the contract: the dynamic worst
+	// inter-commit gap must stay within the certified static region bound.
+	if pr := cert.Progress; pr != nil && pr.RegionsFinite {
+		rep.ProgressChecked = true
+		rep.StaticRegionBound = pr.MaxRegionWCEC
+		rep.ProgressViolation = world0.maxCommitGap > pr.MaxRegionWCEC
 	}
 	for _, fr := range cert.Flagged {
 		rep.Outcomes = append(rep.Outcomes, RegionOutcome{Region: fr})

@@ -1,0 +1,24 @@
+; Seeded livelock: an unbounded poll loop with no commit boundary inside.
+;
+; The loop spins on FLAG (data+0), waiting for an external writer that does
+; not exist on this device: FLAG starts at 0 and nothing in the program ever
+; stores to it, so the loop's trip count has no static bound and no dynamic
+; exit. Because the loop body contains no skim point, a power failure at any
+; point inside it resumes at (or before) the loop head with FLAG unchanged —
+; the device re-enters the same poll forever and never accumulates forward
+; progress. wncheck -wcec flags the exact loop extent (WN201, livelock) and
+; refuses to certify a finite per-region WCEC; the dynamic half of the
+; contract witnesses the same fact as a run that exhausts any cycle budget
+; without halting.
+;
+; Golden result: none — an uninterrupted run never halts.
+
+	MOVI R0, #0
+	MOVTI R0, #4096      ; R0 = data base
+poll:
+	LDR R1, [R0, #0]     ; FLAG — never written, stays 0
+	CMPI R1, #1
+	BNE poll             ; WN201: unbounded, boundary-free loop
+	MOVI R2, #1
+	STR R2, [R0, #4]     ; unreachable publish
+	HALT

@@ -47,6 +47,10 @@ type checker struct {
 	liveIn, liveOut []regSet
 	liveDone        bool
 
+	// progress is the forward-progress analysis outcome (runProgress),
+	// nil unless Options.Progress.
+	progress *ProgressInfo
+
 	diags []Diagnostic
 	seen  map[diagKey]int // (code, instruction) -> 1-based index into diags
 }

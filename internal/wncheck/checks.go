@@ -68,7 +68,7 @@ func (c *checker) checkInstr(s *dfState, idx int) {
 		}
 	}
 
-	// WN203: skim targets are absolute; they must name an instruction in
+	// WN213: skim targets are absolute; they must name an instruction in
 	// the image and lie past the SKM that arms them (skim points commit
 	// forward progress, they never rewind it).
 	if op == isa.OpSkm {
@@ -159,7 +159,7 @@ func (c *checker) checkBlocks() {
 		return
 	}
 
-	// WN201: every loop that performs anytime work must be covered by a
+	// WN211: every loop that performs anytime work must be covered by a
 	// skim point — either one armed on every path into the loop, or one
 	// reachable from the loop so the result can still be committed.
 	for _, l := range c.loops {
@@ -189,7 +189,7 @@ func (c *checker) checkBlocks() {
 			"loop at %#08x contains anytime (amenable) instructions but no skim point is armed on entry or reachable from the loop", c.ins[head.start].addr)
 	}
 
-	// WN202: a skim point must be reachable from some amenable
+	// WN212: a skim point must be reachable from some amenable
 	// instruction — otherwise there is no anytime result to commit.
 	justified := c.skimJustified()
 	for _, b := range c.blocks {

@@ -138,7 +138,7 @@ func (c *checker) runCrash() {
 func (c *checker) checkSkimResume(idx int) {
 	target := uint32(c.ins[idx].in.Imm)
 	if target%isa.InstBytes != 0 || target < mem.CodeBase {
-		return // WN203 already covers malformed targets
+		return // WN213 already covers malformed targets
 	}
 	t := int(target-mem.CodeBase) / isa.InstBytes
 	if t < 0 || t >= len(c.ins) {
@@ -191,7 +191,7 @@ func (c *checker) runCommitOrder() {
 func (c *checker) checkCommitOrder(idx int) {
 	target := uint32(c.ins[idx].in.Imm)
 	if target%isa.InstBytes != 0 || target < mem.CodeBase {
-		return // WN203 already covers malformed targets
+		return // WN213 already covers malformed targets
 	}
 	t := int(target-mem.CodeBase) / isa.InstBytes
 	if t < 0 || t >= len(c.ins) {

@@ -168,6 +168,7 @@ const (
 	CondRepeatedInput    = "repeated-input"
 	CondCommitOrder      = "commit-order"
 	CondIdempotentReplay = "idempotent-replay"
+	CondForwardProgress  = "forward-progress"
 	CondEngineering      = "engineering"
 )
 
@@ -177,33 +178,37 @@ type RuleInfo struct {
 	Code      string
 	Condition string
 	Crash     bool // only runs under Options.Crash
+	Progress  bool // only runs under Options.Progress
 	Statement string
 }
 
 // ruleTable is the authoritative code -> condition mapping, in code order.
 var ruleTable = []RuleInfo{
-	{CodeWARAmenable, CondWARAtomicity, false, "NV word read, consumed by anytime work, then overwritten with no skim point in between"},
-	{CodeWARPlain, CondWARAtomicity, false, "NV word read then overwritten; repaired by a forced Clank checkpoint at a cost"},
-	{CodeVolatileCross, CondVolatileBoundary, true, "volatile SRAM word written then read across a possible power failure"},
-	{CodeSkimStaleReg, CondResumeState, true, "register live at a skim-resume target and written while the skim is armed"},
-	{CodeRepeatedInput, CondRepeatedInput, true, "input location read on both sides of a possible reboot"},
-	{CodeWARCross, CondWARAtomicity, true, "cross-block WAR at a congruent symbolic address (reaching-defs generalization of WN101/WN102)"},
-	{CodeCommitOrder, CondCommitOrder, true, "NV word written inside an armed skim interval and observed at the skim target"},
-	{CodeNonIdempotent, CondIdempotentReplay, true, "NV write whose value derives from a read of the same word (read-modify-write without privatization)"},
-	{CodeSkimMissing, CondEngineering, false, "amenable loop with no skim coverage"},
-	{CodeSkimOrphan, CondEngineering, false, "skim point no anytime work reaches"},
-	{CodeSkimTarget, CondEngineering, false, "invalid skim target"},
-	{CodeASPPosition, CondEngineering, false, "MUL_ASP position overflows the result"},
-	{CodeIllegalOp, CondEngineering, false, "reachable word does not decode"},
-	{CodeMisaligned, CondEngineering, false, "misaligned access at known address"},
-	{CodeAnytimeReg, CondEngineering, false, "ASP/ASV on SP/LR/PC"},
-	{CodeUnreachable, CondEngineering, false, "unreachable block"},
-	{CodeBranchRange, CondEngineering, false, "branch target outside the image"},
-	{CodeOOBAccess, CondEngineering, false, "access outside every memory region"},
-	{CodeCodeWrite, CondEngineering, false, "store into instruction memory"},
-	{CodeMissingHalt, CondEngineering, false, "execution runs off the image end"},
-	{CodeDeadWrite, CondEngineering, false, "register write never read"},
-	{CodeUninitRead, CondEngineering, false, "register read before any write"},
+	{CodeWARAmenable, CondWARAtomicity, false, false, "NV word read, consumed by anytime work, then overwritten with no skim point in between"},
+	{CodeWARPlain, CondWARAtomicity, false, false, "NV word read then overwritten; repaired by a forced Clank checkpoint at a cost"},
+	{CodeVolatileCross, CondVolatileBoundary, true, false, "volatile SRAM word written then read across a possible power failure"},
+	{CodeSkimStaleReg, CondResumeState, true, false, "register live at a skim-resume target and written while the skim is armed"},
+	{CodeRepeatedInput, CondRepeatedInput, true, false, "input location read on both sides of a possible reboot"},
+	{CodeWARCross, CondWARAtomicity, true, false, "cross-block WAR at a congruent symbolic address (reaching-defs generalization of WN101/WN102)"},
+	{CodeCommitOrder, CondCommitOrder, true, false, "NV word written inside an armed skim interval and observed at the skim target"},
+	{CodeNonIdempotent, CondIdempotentReplay, true, false, "NV write whose value derives from a read of the same word (read-modify-write without privatization)"},
+	{CodeLivelock, CondForwardProgress, false, true, "loop with no commit boundary inside and no finite trip bound: livelock under any finite cycle budget"},
+	{CodeRegionBudget, CondForwardProgress, false, true, "region worst-case cycles exceed the configured per-charge cycle budget"},
+	{CodeLoopBound, CondForwardProgress, false, true, "loop trip count neither inferable nor annotated with .bound"},
+	{CodeSkimMissing, CondEngineering, false, false, "amenable loop with no skim coverage"},
+	{CodeSkimOrphan, CondEngineering, false, false, "skim point no anytime work reaches"},
+	{CodeSkimTarget, CondEngineering, false, false, "invalid skim target"},
+	{CodeASPPosition, CondEngineering, false, false, "MUL_ASP position overflows the result"},
+	{CodeIllegalOp, CondEngineering, false, false, "reachable word does not decode"},
+	{CodeMisaligned, CondEngineering, false, false, "misaligned access at known address"},
+	{CodeAnytimeReg, CondEngineering, false, false, "ASP/ASV on SP/LR/PC"},
+	{CodeUnreachable, CondEngineering, false, false, "unreachable block"},
+	{CodeBranchRange, CondEngineering, false, false, "branch target outside the image"},
+	{CodeOOBAccess, CondEngineering, false, false, "access outside every memory region"},
+	{CodeCodeWrite, CondEngineering, false, false, "store into instruction memory"},
+	{CodeMissingHalt, CondEngineering, false, false, "execution runs off the image end"},
+	{CodeDeadWrite, CondEngineering, false, false, "register write never read"},
+	{CodeUninitRead, CondEngineering, false, false, "register read before any write"},
 }
 
 // Rules returns the full rule table in code order.
@@ -256,7 +261,10 @@ type Certificate struct {
 	Rules        []RuleReport `json:"rules"`
 	Flagged      []Region     `json:"flagged_regions"`
 	Proven       []Region     `json:"proven_regions"`
-	Assumptions  []string     `json:"assumptions"`
+	// Progress is the forward-progress analysis outcome: loop trip bounds
+	// and per-region WCEC. Nil when Options.Progress was off.
+	Progress    *ProgressInfo `json:"progress,omitempty"`
+	Assumptions []string      `json:"assumptions"`
 }
 
 // Encode renders the certificate as deterministic, indented JSON: encoding
@@ -318,6 +326,12 @@ func buildCertificate(p *asm.Program, opts Options, res *Result) *Certificate {
 		if r.Crash && !opts.Crash {
 			enabled = false
 		}
+		if r.Progress && !opts.Progress {
+			enabled = false
+		}
+		if r.Code == CodeRegionBudget && opts.Budget == 0 {
+			enabled = false
+		}
 		if r.Code == CodeRepeatedInput && len(opts.Input) == 0 {
 			enabled = false
 		}
@@ -341,6 +355,13 @@ func buildCertificate(p *asm.Program, opts Options, res *Result) *Certificate {
 			continue
 		}
 		if d.Severity < Warning {
+			continue
+		}
+		// Forward-progress regions are livelock extents, not crash-
+		// consistency holes: no injection campaign witnesses them as a
+		// memory divergence, so they stay out of the flagged/proven split
+		// and live in cert.Progress instead.
+		if ConditionOf(d.Code) == CondForwardProgress {
 			continue
 		}
 		r := Region{Code: d.Code, Start: d.RegionStart, End: d.RegionEnd}
@@ -387,6 +408,17 @@ func buildCertificate(p *asm.Program, opts Options, res *Result) *Certificate {
 		cert.Assumptions = append(cert.Assumptions, "no input locations declared: WN105 is vacuous")
 	} else {
 		cert.Assumptions = append(cert.Assumptions, "input locations advance monotonically across reboots and are never written by the program")
+	}
+	if opts.Progress && res.Progress != nil {
+		cert.Progress = res.Progress
+		cert.Assumptions = append(cert.Assumptions,
+			"cycle costs are the static worst case: memoization hits are not discounted and every conditional branch pays the taken-branch pipeline refill")
+		for _, lb := range res.Progress.Loops {
+			if lb.Source == "annotated" {
+				cert.Assumptions = append(cert.Assumptions,
+					fmt.Sprintf("loop at %#08x: trip count assumed at most %d (.bound directive)", lb.Head, lb.Bound))
+			}
+		}
 	}
 	return cert
 }

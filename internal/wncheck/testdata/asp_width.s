@@ -7,6 +7,6 @@ start:
 	MUL_ASP8 R1, R2, #4  ; WN301: 8-bit subwords at position 4 shift by 32
 	MUL_ASP4 R1, R2, #8  ; WN301: 4-bit subwords at position 8 shift by 32
 	ADD_ASV8 R1, SP      ; WN304: vector add on the stack pointer
-	SKM #6               ; WN203: target is not instruction-aligned
-	SKM start            ; WN203: target does not advance past the skim
+	SKM #6               ; WN213: target is not instruction-aligned
+	SKM start            ; WN213: target does not advance past the skim
 	HALT

@@ -3,7 +3,7 @@
 ; The hot path commits a seed approximation and arms a skim point before the
 ; loop; the cold path branches straight in. The loop performs anytime work,
 ; is not covered on every entry path, and no skim point is reachable from
-; it, so an outage mid-loop discards all of its anytime work (WN201, error).
+; it, so an outage mid-loop discards all of its anytime work (WN211, error).
 
 	MOVI R0, #0
 	MOVTI R0, #4096      ; R0 = data base
@@ -18,7 +18,7 @@
 	STRH R6, [R0, #36]   ; commit the seed
 	SKM loop             ; hot path arms a skim point
 loop:
-	LDRH R6, [R0, #0]    ; WN201 reported at the loop head
+	LDRH R6, [R0, #0]    ; WN211 reported at the loop head
 	.amenable
 	MUL_ASP8 R6, R7, #1
 	ADD R5, R5, R6

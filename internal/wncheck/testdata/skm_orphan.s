@@ -2,14 +2,14 @@
 ;
 ; Nothing amenable executes before the SKM, so there is no approximate
 ; result for an outage to commit: skipping to the target would publish
-; whatever the output held before (WN202, warning). The store after the SKM
+; whatever the output held before (WN212, warning). The store after the SKM
 ; is clean: the skim point closes the WAR interval opened by the load.
 
 	MOVI R0, #0
 	MOVTI R0, #4096      ; R0 = data base
 	LDR R1, [R0, #0]
 	ADDI R1, R1, #1
-	SKM end              ; WN202: no amenable work reaches this skim
+	SKM end              ; WN212: no amenable work reaches this skim
 	STR R1, [R0, #0]
 end:
 	HALT

@@ -1,0 +1,483 @@
+package wncheck_test
+
+import (
+	"bytes"
+	"testing"
+
+	"whatsnext/internal/asm"
+	"whatsnext/internal/isa"
+	"whatsnext/internal/mem"
+	"whatsnext/internal/wncheck"
+)
+
+func progressCheck(t *testing.T, src string, opts wncheck.Options) *wncheck.Result {
+	t.Helper()
+	opts.Progress = true
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := wncheck.Check(p, opts)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if res.Progress == nil {
+		t.Fatal("Options.Progress set but Result.Progress is nil")
+	}
+	return res
+}
+
+func codesOf(res *wncheck.Result) map[string]int {
+	out := map[string]int{}
+	for _, d := range res.Diags {
+		out[d.Code] += d.Count
+	}
+	return out
+}
+
+// A down-counted do-while in the compiler's idiom: the trip count is
+// inferred by simulating SUBIS/BNE over the preheader constant.
+func TestWCECInferredSubisLoop(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R0, #8
+	loop:
+		ADD R1, R1, R0
+		SUBIS R0, R0, #1
+		BNE loop
+		HALT
+	`, wncheck.Options{})
+	p := res.Progress
+	if len(p.Loops) != 1 {
+		t.Fatalf("loops = %+v, want one", p.Loops)
+	}
+	lb := p.Loops[0]
+	if lb.Source != "inferred" || lb.Bound != 8 || lb.Boundary {
+		t.Errorf("loop bound = %+v, want inferred 8 without boundary", lb)
+	}
+	if lb.Head != mem.CodeBase+1*isa.InstBytes {
+		t.Errorf("loop head = %#x", lb.Head)
+	}
+	// MOVI(1) + 8*(ADD 1 + SUBIS 1 + BNE 1+1 refill) + HALT(1) = 34.
+	if !p.TotalFinite || p.TotalWCEC != 34 {
+		t.Errorf("total = %d (finite %v), want 34", p.TotalWCEC, p.TotalFinite)
+	}
+	if !p.RegionsFinite || p.MaxRegionWCEC != 34 {
+		t.Errorf("max region = %d (finite %v), want 34", p.MaxRegionWCEC, p.RegionsFinite)
+	}
+	if n := codesOf(res)["WN201"] + codesOf(res)["WN203"]; n != 0 {
+		t.Errorf("bounded loop raised progress diagnostics: %v", res.Diags)
+	}
+}
+
+// An up-counted loop: ADDI then CMPI then a conditional branch.
+func TestWCECInferredCmpiLoop(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R0, #0
+	loop:
+		ADD R1, R1, R0
+		ADDI R0, R0, #1
+		CMP R0, #10
+		BLT loop
+		HALT
+	`, wncheck.Options{})
+	p := res.Progress
+	if len(p.Loops) != 1 || p.Loops[0].Source != "inferred" || p.Loops[0].Bound != 10 {
+		t.Fatalf("loops = %+v, want one inferred bound of 10", p.Loops)
+	}
+	// MOVI(1) + 10*(ADD 1 + ADDI 1 + CMPI 1 + BLT 2) + HALT(1) = 52.
+	if !p.TotalFinite || p.TotalWCEC != 52 {
+		t.Errorf("total = %d (finite %v), want 52", p.TotalWCEC, p.TotalFinite)
+	}
+}
+
+// A loop whose counter comes from memory is unprovable; a .bound directive
+// caps it and the certificate records the assumption.
+func TestWCECAnnotatedBound(t *testing.T) {
+	src := `
+		MOVI R1, #4096
+		MOVTI R1, #2
+		LDR R0, [R1]
+	loop:
+		.bound 16
+		ADD R2, R2, R0
+		SUBIS R0, R0, #1
+		BNE loop
+		HALT
+	`
+	res := progressCheck(t, src, wncheck.Options{})
+	p := res.Progress
+	if len(p.Loops) != 1 || p.Loops[0].Source != "annotated" || p.Loops[0].Bound != 16 {
+		t.Fatalf("loops = %+v, want one annotated bound of 16", p.Loops)
+	}
+	if !p.TotalFinite || !p.RegionsFinite {
+		t.Error("annotated loop should certify finite bounds")
+	}
+	// MOVI 1 + MOVTI 1 + LDR 2 + 16*(1+1+2) + HALT 1 = 69.
+	if p.TotalWCEC != 69 {
+		t.Errorf("total = %d, want 69", p.TotalWCEC)
+	}
+	if n := codesOf(res)["WN203"]; n != 0 {
+		t.Errorf("annotated loop still raised WN203: %v", res.Diags)
+	}
+
+	// Without the annotation the same loop livelocks statically.
+	pr, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cert, err := wncheck.Verify(pr, wncheck.Options{Progress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range cert.Assumptions {
+		if a == "loop at 0x0000000c: trip count assumed at most 16 (.bound directive)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("certificate is missing the .bound assumption: %q", cert.Assumptions)
+	}
+}
+
+// WN201: an unbounded loop with no commit boundary inside is a livelock,
+// and the diagnostic carries the exact loop extent.
+func TestWCECLivelockWN201(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R1, #4096
+		MOVTI R1, #2
+	loop:
+		LDR R0, [R1]
+		CMPI R0, #0
+		BEQ loop
+		HALT
+	`, wncheck.Options{})
+	var d *wncheck.Diagnostic
+	for i := range res.Diags {
+		if res.Diags[i].Code == wncheck.CodeLivelock {
+			d = &res.Diags[i]
+		}
+	}
+	if d == nil {
+		t.Fatalf("no WN201 in %v", res.Diags)
+	}
+	if d.Severity != wncheck.Error {
+		t.Errorf("WN201 severity = %v, want error", d.Severity)
+	}
+	wantLo := uint32(mem.CodeBase + 2*isa.InstBytes)
+	wantHi := uint32(mem.CodeBase + 4*isa.InstBytes)
+	if d.RegionStart != wantLo || d.RegionEnd != wantHi {
+		t.Errorf("WN201 region = %#x..%#x, want %#x..%#x", d.RegionStart, d.RegionEnd, wantLo, wantHi)
+	}
+	p := res.Progress
+	if p.RegionsFinite || p.TotalFinite {
+		t.Errorf("livelocking program certified finite: %+v", p)
+	}
+	if len(p.Loops) != 1 || p.Loops[0].Source != "unbounded" {
+		t.Errorf("loops = %+v", p.Loops)
+	}
+}
+
+// WN203: when every iteration commits through a skim point, an unknown trip
+// count only forfeits the total bound; the per-region bounds survive.
+func TestWCECUnboundedButCommitting(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R1, #4096
+		MOVTI R1, #2
+	loop:
+		.amenable
+		MUL R2, R2, R2
+		SKM after
+		LDR R0, [R1]
+		CMPI R0, #0
+		BEQ loop
+	after:
+		HALT
+	`, wncheck.Options{})
+	codes := codesOf(res)
+	if codes["WN203"] == 0 {
+		t.Fatalf("want WN203, got %v", res.Diags)
+	}
+	if codes["WN201"] != 0 {
+		t.Fatalf("committing loop flagged as livelock: %v", res.Diags)
+	}
+	p := res.Progress
+	if !p.RegionsFinite {
+		t.Errorf("regions should stay finite when every iteration commits: %+v", p)
+	}
+	if p.TotalFinite {
+		t.Error("total should be unbounded without a trip bound")
+	}
+	if len(p.Loops) != 1 || !p.Loops[0].Boundary {
+		t.Errorf("loops = %+v, want one with a boundary", p.Loops)
+	}
+}
+
+// WN202: a region that cannot complete within the configured budget.
+func TestWCECBudgetWN202(t *testing.T) {
+	src := `
+		MUL R1, R0, R0
+		MUL R2, R1, R1
+		MUL R3, R2, R2
+		HALT
+	`
+	// 3 MULs at 16 cycles + HALT = 49 cycles total.
+	res := progressCheck(t, src, wncheck.Options{Budget: 48})
+	if codesOf(res)["WN202"] == 0 {
+		t.Fatalf("want WN202 under a 48-cycle budget, got %v", res.Diags)
+	}
+	res = progressCheck(t, src, wncheck.Options{Budget: 49})
+	if codesOf(res)["WN202"] != 0 {
+		t.Fatalf("49-cycle budget should cover the program, got %v", res.Diags)
+	}
+	if res.Progress.MaxRegionWCEC != 49 {
+		t.Errorf("max region = %d, want 49", res.Progress.MaxRegionWCEC)
+	}
+}
+
+// Skim points split a straight-line program into separately budgeted regions.
+func TestWCECSkimSplitsRegions(t *testing.T) {
+	res := progressCheck(t, `
+		MUL R1, R0, R0
+	mid:
+		SKM mid2
+		MUL R2, R1, R1
+	mid2:
+		SKM end
+		ADD R3, R2, R1
+	end:
+		HALT
+	`, wncheck.Options{})
+	p := res.Progress
+	// Regions: entry..first SKM = 16+1 = 17; SKM..SKM = 16+1 = 17;
+	// SKM..halt = 1+1 = 2. Total = 36.
+	if !p.RegionsFinite || p.MaxRegionWCEC != 17 {
+		t.Errorf("max region = %d (finite %v), want 17", p.MaxRegionWCEC, p.RegionsFinite)
+	}
+	if !p.TotalFinite || p.TotalWCEC != 36 {
+		t.Errorf("total = %d, want 36", p.TotalWCEC)
+	}
+	if len(p.Regions) < 3 {
+		t.Errorf("regions = %+v, want at least 3", p.Regions)
+	}
+}
+
+// Satellite: findLoops coverage — nested loops collapse innermost-first and
+// both trip counts multiply into the total.
+func TestWCECNestedLoops(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R0, #3
+	outer:
+		MOVI R1, #4
+	inner:
+		ADD R2, R2, R1
+		SUBIS R1, R1, #1
+		BNE inner
+		SUBIS R0, R0, #1
+		BNE outer
+		HALT
+	`, wncheck.Options{})
+	if res.NumLoops != 2 {
+		t.Fatalf("NumLoops = %d, want 2", res.NumLoops)
+	}
+	p := res.Progress
+	if len(p.Loops) != 2 {
+		t.Fatalf("loops = %+v, want 2", p.Loops)
+	}
+	// Sorted by head address: outer (head 0x04) before inner (head 0x08).
+	if p.Loops[0].Bound != 3 || p.Loops[1].Bound != 4 {
+		t.Errorf("bounds = %d, %d, want 3, 4", p.Loops[0].Bound, p.Loops[1].Bound)
+	}
+	// MOVI 1 + 3*(MOVI 1 + 4*(1+1+2) + SUBIS 1 + BNE 2) + HALT 1 = 62.
+	if !p.TotalFinite || p.TotalWCEC != 62 {
+		t.Errorf("total = %d (finite %v), want 62", p.TotalWCEC, p.TotalFinite)
+	}
+}
+
+// Satellite: findLoops coverage — two back edges to one header merge into a
+// single natural loop with two latches, which defeats trip inference.
+func TestWCECSharedHeaderLoops(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R0, #10
+	loop:
+		SUBIS R0, R0, #1
+		BEQ done
+		CMPI R0, #5
+		BNE loop
+		B loop
+	done:
+		HALT
+	`, wncheck.Options{})
+	if res.NumLoops != 1 {
+		t.Fatalf("NumLoops = %d, want 1 (shared header merges)", res.NumLoops)
+	}
+	p := res.Progress
+	if len(p.Loops) != 1 || p.Loops[0].Source != "unbounded" {
+		t.Fatalf("loops = %+v, want one unbounded", p.Loops)
+	}
+	if codesOf(res)["WN201"] == 0 {
+		t.Errorf("multi-latch unbounded loop should raise WN201: %v", res.Diags)
+	}
+}
+
+// Satellite: findLoops coverage — an irreducible CFG (a branch into the
+// loop body) degrades conservatively instead of mis-certifying.
+func TestWCECIrreducibleCFG(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R0, #1
+		CMPI R0, #0
+		BEQ b
+	a:
+		ADD R1, R1, R1
+	b:
+		SUB R1, R1, R0
+		CMPI R1, #0
+		BNE a
+		HALT
+	`, wncheck.Options{})
+	if res.NumLoops == 0 {
+		t.Fatal("irreducible corpus found no loops")
+	}
+	p := res.Progress
+	if p.TotalFinite {
+		t.Errorf("irreducible CFG must not certify a finite total: %+v", p)
+	}
+	codes := codesOf(res)
+	if codes["WN201"]+codes["WN203"] == 0 {
+		t.Errorf("irreducible CFG raised no progress diagnostics: %v", res.Diags)
+	}
+}
+
+// A rotated loop whose latch has no conditional branch (it falls through to
+// the header) is outside the idiom and must not be mis-inferred.
+func TestWCECRotatedLoopNotInferred(t *testing.T) {
+	res := progressCheck(t, `
+		MOVI R0, #4
+		B mid
+	loop:
+		ADD R1, R1, R0
+	mid:
+		SUBIS R0, R0, #1
+		BNE loop
+		HALT
+	`, wncheck.Options{})
+	p := res.Progress
+	if len(p.Loops) != 1 {
+		t.Fatalf("loops = %+v", p.Loops)
+	}
+	if p.Loops[0].Source == "inferred" {
+		t.Errorf("rotated loop must not be inferred: %+v", p.Loops[0])
+	}
+}
+
+// Certificates carrying progress info must encode byte-identically across
+// two independent runs.
+func TestWCECCertificateByteStable(t *testing.T) {
+	src := `
+		MOVI R0, #6
+	loop:
+		.bound 32
+		MUL R1, R0, R0
+		SKM cont
+	cont:
+		SUBIS R0, R0, #1
+		BNE loop
+		HALT
+	`
+	encode := func() []byte {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cert, err := wncheck.Verify(p, wncheck.Options{Progress: true, Budget: 1 << 20, Crash: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cert.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Errorf("certificate encoding is not byte-stable:\n%s\nvs\n%s", a, b)
+	}
+	cert, err := wncheck.DecodeCertificate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Progress == nil || !cert.Progress.RegionsFinite {
+		t.Errorf("round-tripped certificate lost progress info: %+v", cert.Progress)
+	}
+	if cert.Progress.Budget != 1<<20 {
+		t.Errorf("budget = %d", cert.Progress.Budget)
+	}
+}
+
+// The WN202 rule must report as disabled without a budget and enabled with
+// one; WN201/WN203 report as enabled exactly under Options.Progress.
+func TestWCECRuleGating(t *testing.T) {
+	p, err := asm.Assemble("HALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := func(opts wncheck.Options) map[string]bool {
+		_, cert, err := wncheck.Verify(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, r := range cert.Rules {
+			out[r.Code] = r.Enabled
+		}
+		return out
+	}
+	off := enabled(wncheck.Options{})
+	if off["WN201"] || off["WN202"] || off["WN203"] {
+		t.Errorf("progress rules enabled without Options.Progress: %v", off)
+	}
+	on := enabled(wncheck.Options{Progress: true})
+	if !on["WN201"] || !on["WN203"] || on["WN202"] {
+		t.Errorf("progress on, no budget: %v", on)
+	}
+	budget := enabled(wncheck.Options{Progress: true, Budget: 1000})
+	if !budget["WN202"] {
+		t.Errorf("WN202 disabled despite budget: %v", budget)
+	}
+}
+
+// Forward-progress regions must not leak into the crash-consistency
+// flagged/proven split consumed by the fault-injection oracle.
+func TestWCECRegionsStayOutOfFlagged(t *testing.T) {
+	p, err := asm.Assemble(`
+		MOVI R1, #4096
+		MOVTI R1, #2
+	loop:
+		LDR R0, [R1]
+		CMPI R0, #0
+		BEQ loop
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cert, err := wncheck.Verify(p, wncheck.Options{Progress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has201 := false
+	for _, d := range res.Diags {
+		if d.Code == wncheck.CodeLivelock {
+			has201 = true
+		}
+	}
+	if !has201 {
+		t.Fatal("expected WN201")
+	}
+	for _, f := range cert.Flagged {
+		if f.Code == wncheck.CodeLivelock {
+			t.Errorf("WN201 region leaked into flagged_regions: %+v", f)
+		}
+	}
+}

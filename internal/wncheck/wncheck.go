@@ -66,11 +66,25 @@
 //	       runtime that replays without WAR detection; Clank repairs it
 //	       with a forced checkpoint and the undo log by rollback, both
 //	       at a cost.
-//	WN201  A loop containing amenable instructions has no skim point armed
+//	WN201  Livelock (forward-progress analysis, Options.Progress): a loop
+//	       with no skim point inside and no finite trip bound — neither
+//	       inferred from the constant lattice nor annotated with .bound.
+//	       No finite cycle budget covers the region, so under intermittent
+//	       power the program can re-execute forever without committing.
+//	WN202  Region worst-case cycle count exceeds the configured cycle
+//	       budget (forward-progress analysis, requires Options.Budget):
+//	       the code between two consecutive commit boundaries cannot
+//	       complete on one capacitor charge, so the region livelocks on
+//	       the configured device.
+//	WN203  Unprovable loop bound (forward-progress analysis, warning):
+//	       the loop's trip count cannot be inferred and carries no .bound
+//	       annotation. Per-region bounds survive when every iteration
+//	       commits, but the program's total WCEC is unbounded.
+//	WN211  A loop containing amenable instructions has no skim point armed
 //	       on entry and none reachable from the loop.
-//	WN202  A skim point that is not reachable from any amenable
+//	WN212  A skim point that is not reachable from any amenable
 //	       instruction: there is no anytime result for it to commit.
-//	WN203  A skim target outside the image, misaligned, or not past the
+//	WN213  A skim target outside the image, misaligned, or not past the
 //	       skim instruction itself.
 //	WN301  A MUL_ASP subword position that shifts the product out of the
 //	       32-bit result (bits*pos must stay below 32).
@@ -145,9 +159,12 @@ const (
 	CodeWARCross      = "WN106" // cross-block WAR at a congruent symbolic address
 	CodeCommitOrder   = "WN107" // NV write inside an armed skim interval observed at the target
 	CodeNonIdempotent = "WN108" // NV read-modify-write without privatization
-	CodeSkimMissing   = "WN201" // amenable loop with no skim coverage
-	CodeSkimOrphan    = "WN202" // skim point no anytime work reaches
-	CodeSkimTarget    = "WN203" // invalid skim target
+	CodeLivelock      = "WN201" // unbounded loop with no commit boundary inside
+	CodeRegionBudget  = "WN202" // region WCEC exceeds the cycle budget
+	CodeLoopBound     = "WN203" // unprovable loop bound, needs .bound
+	CodeSkimMissing   = "WN211" // amenable loop with no skim coverage
+	CodeSkimOrphan    = "WN212" // skim point no anytime work reaches
+	CodeSkimTarget    = "WN213" // invalid skim target
 	CodeASPPosition   = "WN301" // MUL_ASP position overflows the result
 	CodeIllegalOp     = "WN302" // reachable word does not decode
 	CodeMisaligned    = "WN303" // misaligned access at known address
@@ -211,7 +228,7 @@ func (d Diagnostic) Format(file string) string {
 	return fmt.Sprintf("%s: %s %s: %s%s", loc, d.Code, d.Severity, d.Msg, d.occurrences())
 }
 
-// SkimPolicy controls the skim-placement checks (WN201, WN202), which only
+// SkimPolicy controls the skim-placement checks (WN211, WN212), which only
 // make sense for programs that opted into skim protection.
 type SkimPolicy int
 
@@ -244,6 +261,15 @@ type Options struct {
 	// input rule (WN105). Empty means no input locations: the rule is
 	// vacuously satisfied.
 	Input []AddrRange
+	// Progress enables the forward-progress / WCEC analysis (WN201–WN203)
+	// and populates Result.Progress: loop trip bounds from the constant
+	// lattice and .bound annotations, and per-region worst-case cycle
+	// counts between commit boundaries.
+	Progress bool
+	// Budget, when nonzero (with Progress set), is the per-charge cycle
+	// budget every commit-to-commit region is checked against (WN202).
+	// Zero disables the budget check.
+	Budget uint64
 	// Disable suppresses the listed diagnostic codes.
 	Disable []string
 	// Only, when non-empty, restricts reporting to the listed codes.
@@ -253,6 +279,10 @@ type Options struct {
 // Result is the outcome of a verification run.
 type Result struct {
 	Diags []Diagnostic
+
+	// Progress carries the forward-progress analysis outcome; nil unless
+	// Options.Progress was set.
+	Progress *ProgressInfo
 
 	// Analysis statistics, for observability and tests.
 	NumInstructions int
@@ -317,6 +347,7 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 	c.findLoops()
 
 	c.runForward()     // constants, read sets, skim arming + WN1xx/2xx/3xx/4xx
+	c.runProgress()    // loop bounds + per-region WCEC (WN201–WN203)
 	c.checkBlocks()    // unreachable code, fall-off-the-end, loop coverage
 	c.runCrash()       // WN104 (WN103/WN105/WN106/WN108 piggyback on the forward pass)
 	c.runCommitOrder() // WN107
@@ -325,6 +356,7 @@ func Check(p *asm.Program, opts Options) (*Result, error) {
 
 	res := &Result{
 		Diags:           c.diags,
+		Progress:        c.progress,
 		NumInstructions: len(c.ins),
 		NumBlocks:       len(c.blocks),
 		NumLoops:        c.numLoops,

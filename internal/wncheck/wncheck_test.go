@@ -143,10 +143,10 @@ loop:
 	HALT
 `
 	if res := check(t, noSkim, wncheck.Options{Skim: wncheck.SkimAuto}); hasCode(res, wncheck.CodeSkimMissing) {
-		t.Errorf("SkimAuto without SKM: want no WN201 (program never opted in), got %v", codes(res))
+		t.Errorf("SkimAuto without SKM: want no WN211 (program never opted in), got %v", codes(res))
 	}
 	if res := check(t, noSkim, wncheck.Options{Skim: wncheck.SkimRequire}); !hasCode(res, wncheck.CodeSkimMissing) {
-		t.Errorf("SkimRequire: want WN201, got %v", codes(res))
+		t.Errorf("SkimRequire: want WN211, got %v", codes(res))
 	}
 
 	// An orphan skim point, policy off.
@@ -158,10 +158,10 @@ end:
 	HALT
 `
 	if res := check(t, orphan, wncheck.Options{Skim: wncheck.SkimOff}); hasCode(res, wncheck.CodeSkimOrphan) {
-		t.Errorf("SkimOff: want no WN202, got %v", codes(res))
+		t.Errorf("SkimOff: want no WN212, got %v", codes(res))
 	}
 	if res := check(t, orphan, wncheck.Options{}); !hasCode(res, wncheck.CodeSkimOrphan) {
-		t.Errorf("SkimAuto with orphan SKM: want WN202, got %v", codes(res))
+		t.Errorf("SkimAuto with orphan SKM: want WN212, got %v", codes(res))
 	}
 }
 

@@ -10,12 +10,15 @@
 # 3. Runs stride-sampled power-failure injection over two Table I kernels
 #    under both the Clank and NVP runtimes; wnbench exits non-zero on any
 #    divergence from the uninterrupted golden run.
+# 4. Runs the forward-progress study: every kernel's certified per-region
+#    WCEC must cover the measured worst inter-commit gap (the study exits
+#    non-zero on any dynamic gap above its static bound).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "faultinject-smoke: certifying shipped programs (-crash)"
+echo "faultinject-smoke: certifying shipped programs (-crash -wcec)"
 # shellcheck disable=SC2046
-go run ./cmd/wnlint -crash $(git ls-files '*.s' ':!internal/wncheck/testdata/' ':!internal/faultinject/testdata/')
+go run ./cmd/wnlint -crash -wcec $(git ls-files '*.s' ':!internal/wncheck/testdata/' ':!internal/faultinject/testdata/')
 
 echo "faultinject-smoke: seeded hazards must be flagged AND witnessed"
 # repeated_input.s needs its input location declared: WN105 checks the
@@ -26,6 +29,10 @@ for f in internal/faultinject/testdata/*.s; do
     flags=(-crash -faults 24)
     case "$f" in
         */repeated_input.s) flags=(-crash -input 0x10000000:0x10000004) ;;
+        # livelock.s never halts, so injection's golden run would spin
+        # forever; its flag is WN201 (-wcec) and its dynamic witness is the
+        # cycle-budget test in internal/faultinject.
+        */livelock.s) flags=(-wcec) ;;
     esac
     if go run ./cmd/wnlint "${flags[@]}" "$f" >/dev/null 2>&1; then
         echo "faultinject-smoke: $f was expected to fail the crash checks"
@@ -34,11 +41,14 @@ for f in internal/faultinject/testdata/*.s; do
 done
 
 echo "faultinject-smoke: certificates must round-trip byte-stably"
-go run ./cmd/wnlint -crash -cert internal/asm/testdata/dotprod.s > /tmp/wn-cert-a.json 2>/dev/null
-go run ./cmd/wnlint -crash -cert internal/asm/testdata/dotprod.s > /tmp/wn-cert-b.json 2>/dev/null
+go run ./cmd/wnlint -crash -wcec -cert internal/asm/testdata/dotprod.s > /tmp/wn-cert-a.json 2>/dev/null
+go run ./cmd/wnlint -crash -wcec -cert internal/asm/testdata/dotprod.s > /tmp/wn-cert-b.json 2>/dev/null
 cmp /tmp/wn-cert-a.json /tmp/wn-cert-b.json
 
 echo "faultinject-smoke: strided injection over Conv2d + Home (clank, nvp)"
 go run ./cmd/wnbench -exp faults -faultbench Conv2d,Home -faultpoints 8
+
+echo "faultinject-smoke: static region bounds must cover measured commit gaps"
+go run ./cmd/wnbench -exp progress
 
 echo "faultinject-smoke: OK"
